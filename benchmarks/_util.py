@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates the rows/series of one paper figure or table and
+prints them, so running ``pytest benchmarks/ --benchmark-only -s`` produces a
+textual version of the paper's evaluation.  Simulations are deterministic, so
+each benchmark runs its workload exactly once (``rounds=1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, rows: Iterable[Mapping], columns: Sequence[str]) -> None:
+    """Print rows as a fixed-width table, mirroring the paper's layout."""
+    rows = list(rows)
+    print(f"\n=== {title} ===")
+    header = "  ".join(f"{col:>18s}" for col in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.3f}")
+            else:
+                cells.append(f"{str(value):>18s}")
+        print("  ".join(cells))
+
+
+#: Durations used by the benchmark harnesses.  They are shorter than the
+#: paper's runs so the whole suite completes in minutes; EXPERIMENTS.md
+#: records results from longer runs.
+BENCH_DURATION = 15.0
+BENCH_SCHEMES = ("abc", "xcp", "xcpw", "cubic+codel", "cubic+pie", "copa",
+                 "sprout", "vegas", "verus", "bbr", "pcc", "cubic")

@@ -1,0 +1,20 @@
+"""Fig. 1 — motivation time series: Cubic, Verus, Cubic+CoDel, ABC on one LTE
+trace.  Regenerates the per-scheme utilisation and p95 queuing delay that the
+four panels of Fig. 1 illustrate."""
+
+from _util import BENCH_DURATION, print_table, run_once
+
+from repro.experiments.timeseries import fig1_timeseries, summarize_timeseries
+
+
+def test_fig1_timeseries(benchmark):
+    series = run_once(benchmark, fig1_timeseries,
+                      schemes=("cubic", "verus", "cubic+codel", "abc"),
+                      duration=BENCH_DURATION)
+    rows = summarize_timeseries(series)
+    print_table("Fig. 1 — scheme behaviour on the showcase LTE trace", rows,
+                ["scheme", "utilization", "queuing_p95_ms",
+                 "mean_throughput_mbps"])
+    abc = next(r for r in rows if r["scheme"] == "abc")
+    cubic = next(r for r in rows if r["scheme"] == "cubic")
+    assert abc["queuing_p95_ms"] < cubic["queuing_p95_ms"]

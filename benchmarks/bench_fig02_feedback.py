@@ -1,0 +1,21 @@
+"""Fig. 2 — dequeue-rate vs enqueue-rate feedback ablation."""
+
+from _util import print_table, run_once
+
+from repro.experiments.feedback import fig2_feedback
+
+
+def test_fig2_feedback_basis(benchmark):
+    comparison = run_once(benchmark, fig2_feedback, duration=30.0)
+    rows = [
+        {"basis": "dequeue (ABC)", "queuing_p95_ms": comparison.dequeue_queuing_p95_ms,
+         "utilization": comparison.dequeue_utilization},
+        {"basis": "enqueue (prior work)",
+         "queuing_p95_ms": comparison.enqueue_queuing_p95_ms,
+         "utilization": comparison.enqueue_utilization},
+        {"basis": "delay ratio", "queuing_p95_ms": comparison.delay_ratio,
+         "utilization": 0.0},
+    ]
+    print_table("Fig. 2 — feedback basis ablation", rows,
+                ["basis", "queuing_p95_ms", "utilization"])
+    assert comparison.delay_ratio > 1.4

@@ -1,0 +1,25 @@
+"""Fig. 3 — fairness of competing ABC flows with and without additive increase."""
+
+from _util import print_table, run_once
+
+from repro.experiments.fairness import fig3_fairness
+
+
+def _both():
+    without = fig3_fairness(additive_increase=False, num_flows=5, stagger=12.0)
+    with_ai = fig3_fairness(additive_increase=True, num_flows=5, stagger=12.0)
+    return without, with_ai
+
+
+def test_fig3_additive_increase(benchmark):
+    without, with_ai = run_once(benchmark, _both)
+    rows = [
+        {"variant": "ABC w/o AI (Fig. 3a)", "jain_index": without.steady_state_jain,
+         "per_flow_mbps": " ".join(f"{t:.1f}" for t in without.steady_state_throughputs_mbps)},
+        {"variant": "ABC with AI (Fig. 3b)", "jain_index": with_ai.steady_state_jain,
+         "per_flow_mbps": " ".join(f"{t:.1f}" for t in with_ai.steady_state_throughputs_mbps)},
+    ]
+    print_table("Fig. 3 — additive increase and fairness", rows,
+                ["variant", "jain_index", "per_flow_mbps"])
+    assert with_ai.steady_state_jain > 0.9
+    assert with_ai.steady_state_jain > without.steady_state_jain

@@ -1,0 +1,21 @@
+"""Fig. 4 — WiFi inter-ACK time vs A-MPDU batch size."""
+
+from _util import print_table, run_once
+
+from repro.experiments.wifi_eval import fig4_inter_ack
+
+
+def test_fig4_inter_ack_time(benchmark):
+    samples = run_once(benchmark, fig4_inter_ack, mcs_index=5, duration=20.0)
+    rows = [{
+        "observations": float(samples.batch_sizes.size),
+        "fitted_slope_ms_per_frame": samples.fitted_slope_ms_per_frame,
+        "expected_slope_ms_per_frame": samples.expected_slope_ms_per_frame,
+        "max_inter_ack_ms": float(samples.inter_ack_times_ms.max()),
+    }]
+    print_table("Fig. 4 — inter-ACK time vs batch size", rows,
+                ["observations", "fitted_slope_ms_per_frame",
+                 "expected_slope_ms_per_frame", "max_inter_ack_ms"])
+    assert abs(samples.fitted_slope_ms_per_frame
+               - samples.expected_slope_ms_per_frame) \
+        < 0.4 * samples.expected_slope_ms_per_frame

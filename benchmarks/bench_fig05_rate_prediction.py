@@ -1,0 +1,26 @@
+"""Fig. 5 — WiFi link-rate prediction accuracy across loads and links."""
+
+from _util import print_table, run_once
+
+from repro.experiments.wifi_eval import fig5_rate_prediction
+
+
+def test_fig5_rate_prediction(benchmark):
+    points = run_once(benchmark, fig5_rate_prediction,
+                      mcs_indices=(3, 5, 7),
+                      load_fractions=(0.4, 0.6, 0.8, 1.0),
+                      duration=15.0)
+    rows = [{
+        "mcs": p.mcs_index,
+        "offered_mbps": p.offered_load_mbps,
+        "true_mbps": p.true_capacity_mbps,
+        "predicted_mbps": p.predicted_mbps,
+        "error_pct": p.relative_error * 100.0,
+    } for p in points]
+    print_table("Fig. 5 — WiFi link-rate prediction", rows,
+                ["mcs", "offered_mbps", "true_mbps", "predicted_mbps",
+                 "error_pct"])
+    # The paper's claim: predictions within ~5 % of ground truth once the
+    # offered load provides enough batches to observe.
+    substantial = [p for p in points if p.offered_load_mbps >= 0.5 * p.true_capacity_mbps]
+    assert all(p.relative_error < 0.10 for p in substantial)

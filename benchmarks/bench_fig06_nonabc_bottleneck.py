@@ -1,0 +1,19 @@
+"""Fig. 6 — coexistence with a non-ABC (wired drop-tail) bottleneck."""
+
+from _util import print_table, run_once
+
+from repro.experiments.coexistence import fig6_nonabc_bottleneck
+
+
+def test_fig6_dual_window_tracking(benchmark):
+    trace = run_once(benchmark, fig6_nonabc_bottleneck, duration=40.0)
+    rows = [{
+        "mean_tracking_error": trace.tracking_error,
+        "max_queuing_ms": float(trace.queuing_delay_ms.max()),
+        "max_w_abc": float(trace.w_abc.max()),
+        "max_w_cubic": float(trace.w_cubic.max()),
+    }]
+    print_table("Fig. 6 — ABC across wireless(ABC)+wired(drop-tail) bottlenecks",
+                rows, ["mean_tracking_error", "max_queuing_ms", "max_w_abc",
+                       "max_w_cubic"])
+    assert trace.tracking_error < 0.3

@@ -1,0 +1,22 @@
+"""Fig. 7 — ABC and Cubic flows sharing an ABC bottleneck (two-queue scheduler)."""
+
+from _util import print_table, run_once
+
+from repro.experiments.coexistence import fig7_coexistence_timeseries
+
+
+def test_fig7_abc_cubic_share_fairly(benchmark):
+    result = run_once(benchmark, fig7_coexistence_timeseries,
+                      duration=120.0, stagger=30.0)
+    rows = [{
+        "mean_abc_mbps": result.mean_abc_mbps,
+        "mean_cubic_mbps": result.mean_cubic_mbps,
+        "throughput_gap": result.throughput_gap,
+        "abc_queuing_p95_ms": result.abc_queuing_p95_ms,
+        "cubic_queuing_p95_ms": result.cubic_queuing_p95_ms,
+    }]
+    print_table("Fig. 7 — ABC vs Cubic on an ABC bottleneck", rows,
+                ["mean_abc_mbps", "mean_cubic_mbps", "throughput_gap",
+                 "abc_queuing_p95_ms", "cubic_queuing_p95_ms"])
+    assert abs(result.throughput_gap) < 0.25
+    assert result.abc_queuing_p95_ms < result.cubic_queuing_p95_ms

@@ -1,0 +1,25 @@
+"""Fig. 8 — utilisation vs 95th-percentile delay scatter (downlink, uplink,
+uplink+downlink), with the Pareto-frontier check."""
+
+from _util import print_table, run_once
+
+from repro.experiments.pareto import fig8_pareto
+
+SCHEMES = ("abc", "cubic", "cubic+codel", "copa", "vegas", "bbr", "sprout",
+           "verus", "pcc", "xcp")
+
+
+def test_fig8_pareto_scatter(benchmark):
+    panels = run_once(benchmark, fig8_pareto, schemes=SCHEMES, duration=15.0)
+    for label, scatter in panels.items():
+        rows = [{
+            "scheme": p.scheme,
+            "delay_p95_ms": p.delay_p95_ms,
+            "utilization": p.utilization,
+            "throughput_mbps": p.throughput_mbps,
+        } for p in sorted(scatter.points, key=lambda p: p.delay_p95_ms)]
+        print_table(f"Fig. 8 ({label})", rows,
+                    ["scheme", "delay_p95_ms", "utilization", "throughput_mbps"])
+        print(f"  ABC outside prior-scheme Pareto frontier: "
+              f"{scatter.abc_outside_frontier()}")
+    assert panels["downlink"].abc_outside_frontier()

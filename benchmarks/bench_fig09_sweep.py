@@ -1,0 +1,27 @@
+"""Fig. 9 — utilisation and 95th-percentile delay across the eight-trace set,
+plus the §1 summary table (Table 1) normalised to ABC."""
+
+from _util import BENCH_SCHEMES, print_table, run_once
+
+from repro.experiments.pareto import fig9_sweep, table1_summary
+from repro.experiments.runner import sweep_averages
+
+
+def _sweep():
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0)
+
+
+def test_fig9_cellular_sweep(benchmark):
+    sweep = run_once(benchmark, _sweep)
+    rows = sweep_averages(sweep)
+    print_table("Fig. 9 — averages across 8 cellular traces", rows,
+                ["scheme", "utilization", "delay_p95_ms", "delay_mean_ms",
+                 "queuing_p95_ms"])
+    table = table1_summary(sweep)
+    print_table("Table 1 (§1) — normalised to ABC", table,
+                ["scheme", "norm_throughput", "norm_delay_p95"])
+    by_scheme = {row["scheme"]: row for row in rows}
+    # Headline claims: ABC's utilisation beats Cubic+Codel's substantially,
+    # while Cubic/BBR pay with far higher delay.
+    assert by_scheme["abc"]["utilization"] > 1.2 * by_scheme["cubic+codel"]["utilization"]
+    assert by_scheme["cubic"]["delay_p95_ms"] > 2.0 * by_scheme["abc"]["delay_p95_ms"]

@@ -1,0 +1,27 @@
+"""Fig. 10 — WiFi throughput vs 95th-percentile delay, single and two users."""
+
+from _util import print_table, run_once
+
+from repro.experiments.wifi_eval import fig10_wifi
+
+
+def _both_user_counts():
+    single = fig10_wifi(num_users=1, duration=20.0,
+                        abc_delay_thresholds=(0.02, 0.06, 0.1))
+    double = fig10_wifi(num_users=2, duration=20.0,
+                        abc_delay_thresholds=(0.06,))
+    return single, double
+
+
+def test_fig10_wifi_tradeoff(benchmark):
+    single, double = run_once(benchmark, _both_user_counts)
+    for label, rows in (("single user", single), ("two users", double)):
+        table = [{"scheme": r.scheme, "throughput_mbps": r.throughput_mbps,
+                  "delay_p95_ms": r.delay_p95_ms,
+                  "queuing_p95_ms": r.queuing_p95_ms} for r in rows]
+        print_table(f"Fig. 10 ({label})", table,
+                    ["scheme", "throughput_mbps", "delay_p95_ms",
+                     "queuing_p95_ms"])
+    by_name = {r.scheme: r for r in single}
+    assert by_name["abc_dt100"].throughput_mbps > by_name["cubic+codel"].throughput_mbps
+    assert by_name["abc_dt100"].queuing_p95_ms < by_name["cubic"].queuing_p95_ms

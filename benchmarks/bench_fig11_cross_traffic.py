@@ -1,0 +1,18 @@
+"""Fig. 11 — non-ABC bottleneck with on-off Cubic cross traffic."""
+
+from _util import print_table, run_once
+
+from repro.experiments.coexistence import fig11_cross_traffic
+
+
+def test_fig11_tracks_fair_share(benchmark):
+    trace = run_once(benchmark, fig11_cross_traffic, duration=45.0)
+    rows = [{
+        "mean_tracking_error": trace.tracking_error,
+        "mean_throughput_mbps": float(trace.throughput_mbps.mean()),
+        "max_queuing_ms": float(trace.queuing_delay_ms.max()),
+    }]
+    print_table("Fig. 11 — ABC with on-off cross traffic on the wired hop",
+                rows, ["mean_tracking_error", "mean_throughput_mbps",
+                       "max_queuing_ms"])
+    assert trace.tracking_error < 0.45

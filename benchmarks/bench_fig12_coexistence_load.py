@@ -1,0 +1,30 @@
+"""Fig. 12 — ABC's max-min weights vs RCP's Zombie List under short-flow load."""
+
+from _util import print_table, run_once
+
+from repro.experiments.coexistence import fig12_offered_load_sweep
+
+LOADS = (0.125, 0.25)
+
+
+def _both_strategies():
+    return (fig12_offered_load_sweep(loads=LOADS, strategy="maxmin", duration=30.0),
+            fig12_offered_load_sweep(loads=LOADS, strategy="zombie", duration=30.0))
+
+
+def test_fig12_weight_strategies(benchmark):
+    maxmin, zombie = run_once(benchmark, _both_strategies)
+    rows = []
+    for load in LOADS:
+        rows.append({"strategy": "max-min (ABC)", "offered_load": load,
+                     "abc_mbps": maxmin[load].mean_abc_mbps,
+                     "cubic_mbps": maxmin[load].mean_cubic_mbps,
+                     "gap": maxmin[load].throughput_gap})
+        rows.append({"strategy": "zombie list (RCP)", "offered_load": load,
+                     "abc_mbps": zombie[load].mean_abc_mbps,
+                     "cubic_mbps": zombie[load].mean_cubic_mbps,
+                     "gap": zombie[load].throughput_gap})
+    print_table("Fig. 12 — long-flow throughput under short-flow load", rows,
+                ["strategy", "offered_load", "abc_mbps", "cubic_mbps", "gap"])
+    for load in LOADS:
+        assert abs(maxmin[load].throughput_gap) <= abs(zombie[load].throughput_gap) + 0.05

@@ -1,0 +1,21 @@
+"""Fig. 13 — robustness to application-limited ABC flows."""
+
+from _util import print_table, run_once
+
+from repro.experiments.coexistence import fig13_app_limited
+
+
+def test_fig13_application_limited_flows(benchmark):
+    result = run_once(benchmark, fig13_app_limited, num_app_limited=30,
+                      duration=20.0)
+    rows = [{
+        "utilization": result.utilization,
+        "queuing_p95_ms": result.queuing_p95_ms,
+        "backlogged_mbps": result.backlogged_throughput_mbps,
+        "app_limited_agg_mbps": result.app_limited_aggregate_mbps,
+    }]
+    print_table("Fig. 13 — one backlogged + many application-limited ABC flows",
+                rows, ["utilization", "queuing_p95_ms", "backlogged_mbps",
+                       "app_limited_agg_mbps"])
+    assert result.utilization > 0.6
+    assert result.queuing_p95_ms < 300.0

@@ -1,0 +1,15 @@
+"""Fig. 14 (Appendix B) — WiFi with a Brownian-motion MCS walk."""
+
+from _util import print_table, run_once
+
+from repro.experiments.wifi_eval import fig14_wifi_brownian
+
+
+def test_fig14_wifi_brownian(benchmark):
+    rows = run_once(benchmark, fig14_wifi_brownian, num_users=1, duration=20.0)
+    table = [{"scheme": r.scheme, "throughput_mbps": r.throughput_mbps,
+              "delay_p95_ms": r.delay_p95_ms} for r in rows]
+    print_table("Fig. 14 — WiFi, Brownian MCS walk", table,
+                ["scheme", "throughput_mbps", "delay_p95_ms"])
+    by_name = {r.scheme: r for r in rows}
+    assert by_name["abc_dt100"].throughput_mbps > by_name["cubic+codel"].throughput_mbps

@@ -1,0 +1,26 @@
+"""Fig. 15 (Appendix C) — mean per-packet delay across the trace set."""
+
+from _util import print_table, run_once
+
+from repro.experiments.pareto import fig9_sweep
+from repro.experiments.runner import sweep_averages
+from repro.cellular.synthetic import synthetic_trace_set
+
+SCHEMES = ("abc", "xcpw", "cubic+codel", "copa", "vegas", "bbr", "cubic")
+
+
+def _sweep():
+    traces = synthetic_trace_set(duration=15.0, seed=1,
+                                 names=["Verizon-LTE-1", "Verizon-LTE-2",
+                                        "ATT-LTE-1", "TMobile-LTE-1"])
+    return fig9_sweep(schemes=SCHEMES, duration=15.0, traces=traces)
+
+
+def test_fig15_mean_delay(benchmark):
+    sweep = run_once(benchmark, _sweep)
+    rows = sweep_averages(sweep)
+    print_table("Fig. 15 — mean per-packet delay (4-trace subset)", rows,
+                ["scheme", "utilization", "delay_mean_ms"])
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["cubic"]["delay_mean_ms"] > 1.5 * by_scheme["abc"]["delay_mean_ms"]
+    assert by_scheme["bbr"]["delay_mean_ms"] > by_scheme["abc"]["delay_mean_ms"]

@@ -1,0 +1,26 @@
+"""Fig. 16 (Appendix D) — ABC against the explicit schemes (XCP, XCPw, RCP, VCP)."""
+
+from _util import print_table, run_once
+
+from repro.cellular.synthetic import synthetic_trace_set
+from repro.experiments.pareto import fig16_explicit
+from repro.experiments.runner import sweep_averages
+
+
+def _sweep():
+    traces = synthetic_trace_set(duration=15.0, seed=1,
+                                 names=["Verizon-LTE-1", "Verizon-LTE-3",
+                                        "ATT-LTE-1", "TMobile-LTE-2"])
+    return fig16_explicit(duration=15.0, traces=traces)
+
+
+def test_fig16_explicit_schemes(benchmark):
+    sweep = run_once(benchmark, _sweep)
+    rows = sweep_averages(sweep)
+    print_table("Fig. 16 — explicit schemes (4-trace subset)", rows,
+                ["scheme", "utilization", "delay_p95_ms", "queuing_p95_ms"])
+    by_scheme = {row["scheme"]: row for row in rows}
+    # Appendix D: ABC ≈ XCPw in utilisation, clearly above RCP and VCP.
+    assert by_scheme["abc"]["utilization"] > 1.1 * by_scheme["rcp"]["utilization"]
+    assert by_scheme["abc"]["utilization"] > 1.1 * by_scheme["vcp"]["utilization"]
+    assert by_scheme["xcp"]["delay_p95_ms"] > by_scheme["abc"]["delay_p95_ms"]

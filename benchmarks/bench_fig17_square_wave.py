@@ -1,0 +1,17 @@
+"""Fig. 17 (Appendix D) — ABC, RCP and XCPw on a 12↔24 Mbit/s square wave."""
+
+from _util import print_table, run_once
+
+from repro.experiments.timeseries import fig17_square_wave, summarize_timeseries
+
+
+def test_fig17_square_wave(benchmark):
+    series = run_once(benchmark, fig17_square_wave,
+                      schemes=("abc", "rcp", "xcpw"), duration=10.0)
+    rows = summarize_timeseries(series)
+    print_table("Fig. 17 — square-wave link (12↔24 Mbit/s every 500 ms)", rows,
+                ["scheme", "utilization", "queuing_p95_ms"])
+    by_scheme = {row["scheme"]: row for row in rows}
+    # ABC and XCPw track the square wave closely; RCP is visibly slower.
+    assert by_scheme["abc"]["utilization"] > by_scheme["rcp"]["utilization"]
+    assert by_scheme["xcpw"]["utilization"] > by_scheme["rcp"]["utilization"]

@@ -1,0 +1,29 @@
+"""Fig. 18 (Appendix E) — sensitivity to the propagation RTT."""
+
+from _util import print_table, run_once
+
+from repro.experiments.pareto import fig18_rtt_sensitivity
+
+SCHEMES = ("abc", "cubic+codel", "cubic", "bbr")
+RTTS = (0.02, 0.05, 0.1, 0.2)
+
+
+def test_fig18_rtt_sensitivity(benchmark):
+    results = run_once(benchmark, fig18_rtt_sensitivity, schemes=SCHEMES,
+                       rtts=RTTS, duration=15.0)
+    rows = []
+    for rtt, per_scheme in results.items():
+        for scheme, res in per_scheme.items():
+            rows.append({"rtt_ms": rtt * 1000.0, "scheme": scheme,
+                         "utilization": res.utilization,
+                         "queuing_p95_ms": res.queuing_p95_ms})
+    print_table("Fig. 18 — propagation-delay sensitivity", rows,
+                ["rtt_ms", "scheme", "utilization", "queuing_p95_ms"])
+    # Across every RTT, ABC keeps queuing delay well below Cubic's while
+    # staying at or above Cubic+Codel's utilisation.
+    for rtt in RTTS:
+        abc = results[rtt]["abc"]
+        cubic = results[rtt]["cubic"]
+        codel = results[rtt]["cubic+codel"]
+        assert abc.queuing_p95_ms < cubic.queuing_p95_ms
+        assert abc.utilization > 0.9 * codel.utilization

@@ -1,0 +1,14 @@
+"""§6.5 — Jain fairness index for 2–32 competing ABC flows."""
+
+from _util import print_table, run_once
+
+from repro.experiments.fairness import jain_index_sweep
+
+
+def test_jain_fairness_sweep(benchmark):
+    results = run_once(benchmark, jain_index_sweep,
+                       flow_counts=(2, 4, 8, 16), duration=60.0, warmup=25.0)
+    rows = [{"flows": n, "jain_index": value} for n, value in results.items()]
+    print_table("§6.5 — Jain fairness index for competing ABC flows", rows,
+                ["flows", "jain_index"])
+    assert all(value > 0.93 for value in results.values())

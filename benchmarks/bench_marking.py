@@ -1,0 +1,19 @@
+"""Ablation — deterministic token-bucket marking vs probabilistic marking."""
+
+from _util import print_table, run_once
+
+from repro.experiments.feedback import marking_burstiness
+
+
+def test_marking_burstiness(benchmark):
+    stats = run_once(benchmark, marking_burstiness, fraction=0.4, packets=20_000)
+    rows = [{
+        "token_gap_variance": stats["token_gap_variance"],
+        "probabilistic_gap_variance": stats["probabilistic_gap_variance"],
+        "token_fraction": stats["token_fraction"],
+        "probabilistic_fraction": stats["probabilistic_fraction"],
+    }]
+    print_table("Algorithm 1 ablation — marking burstiness at f = 0.4", rows,
+                ["token_gap_variance", "probabilistic_gap_variance",
+                 "token_fraction", "probabilistic_fraction"])
+    assert stats["token_gap_variance"] < stats["probabilistic_gap_variance"]

@@ -1,0 +1,33 @@
+"""Theorem 3.1 — the δ > 2τ/3 stability boundary (fluid model + packet level)."""
+
+from _util import print_table, run_once
+
+from repro.experiments.stability_eval import (fluid_stability_sweep,
+                                              packet_level_stability)
+
+
+def _both():
+    return (fluid_stability_sweep(),
+            packet_level_stability(delta_values=(0.04, 0.133, 0.4)))
+
+
+def test_stability_boundary(benchmark):
+    fluid, packet = run_once(benchmark, _both)
+    rows = [{"delta_over_tau": ratio, "theory_stable": p.theoretically_stable,
+             "fluid_converged": p.fluid_converged,
+             "oscillation_ms": p.fluid_oscillation_s * 1000.0}
+            for ratio, p in fluid.items()]
+    print_table("Theorem 3.1 — fluid-model sweep (τ = 100 ms)", rows,
+                ["delta_over_tau", "theory_stable", "fluid_converged",
+                 "oscillation_ms"])
+    packet_rows = [{"delta_s": d, "utilization": p.utilization,
+                    "queuing_p95_ms": p.queuing_p95_ms,
+                    "queuing_std_ms": p.queuing_std_ms}
+                   for d, p in packet.items()]
+    print_table("Packet-level ABC at several δ (24 Mbit/s, τ = 100 ms)",
+                packet_rows, ["delta_s", "utilization", "queuing_p95_ms",
+                              "queuing_std_ms"])
+    # Every δ/τ ratio above the bound must converge in the fluid model.
+    for ratio, point in fluid.items():
+        if point.theoretically_stable:
+            assert point.fluid_converged

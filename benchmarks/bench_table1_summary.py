@@ -1,0 +1,29 @@
+"""Table 1 (§1) — normalised throughput and delay on cellular traces.
+
+The full sweep also runs in ``bench_fig09_sweep.py``; this harness uses a
+smaller two-trace subset so the summary table can be regenerated quickly.
+"""
+
+from _util import BENCH_SCHEMES, print_table, run_once
+
+from repro.cellular.synthetic import synthetic_trace_set
+from repro.experiments.pareto import fig9_sweep, table1_summary
+
+
+def _small_sweep():
+    traces = synthetic_trace_set(duration=15.0, seed=1,
+                                 names=["Verizon-LTE-1", "TMobile-LTE-1"])
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, traces=traces)
+
+
+def test_table1_normalized_summary(benchmark):
+    sweep = run_once(benchmark, _small_sweep)
+    table = table1_summary(sweep)
+    print_table("Table 1 — normalised to ABC (2-trace subset)", table,
+                ["scheme", "norm_throughput", "norm_delay_p95"])
+    by_scheme = {row["scheme"]: row for row in table}
+    assert by_scheme["abc"]["norm_throughput"] == 1.0
+    # Shape of the paper's table: Cubic/PCC above ABC's delay by a large
+    # factor; Cubic+Codel below ABC's throughput.
+    assert by_scheme["cubic"]["norm_delay_p95"] > 2.0
+    assert by_scheme["cubic+codel"]["norm_throughput"] < 0.9

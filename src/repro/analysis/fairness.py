@@ -1,0 +1,58 @@
+"""Fairness metrics.
+
+The paper reports Jain's fairness index for 2–32 competing ABC flows (§6.5)
+and compares the convergence speed of ABC and Cubic flows via the standard
+deviation of their per-run throughputs (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def jain_fairness_index(allocations: Sequence[float]) -> float:
+    """Jain, Durresi & Babic's fairness index.
+
+    ``(Σx)² / (n · Σx²)`` — equals 1.0 when all allocations are identical and
+    approaches ``1/n`` when one flow takes everything.
+    """
+    x = np.asarray(list(allocations), dtype=float)
+    if x.size == 0:
+        raise ValueError("allocations must not be empty")
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    total_sq = float(np.sum(x)) ** 2
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0:
+        return 1.0
+    return total_sq / denom
+
+
+def throughput_ratio(group_a: Sequence[float], group_b: Sequence[float]) -> float:
+    """Ratio of mean throughputs between two groups of flows.
+
+    Fig. 12's headline claim is that the difference in average throughput of
+    ABC and Cubic flows stays under 5 %, i.e. this ratio stays within
+    ``[0.95, 1.05]`` under ABC's max-min weight allocation.
+    """
+    a = np.asarray(list(group_a), dtype=float)
+    b = np.asarray(list(group_b), dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both groups must be non-empty")
+    mean_b = float(np.mean(b))
+    if mean_b == 0:
+        return float("inf")
+    return float(np.mean(a)) / mean_b
+
+
+def relative_std(values: Sequence[float]) -> float:
+    """Coefficient of variation (std / mean), 0.0 for constant input."""
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        raise ValueError("values must not be empty")
+    m = float(np.mean(x))
+    if m == 0:
+        return 0.0
+    return float(np.std(x)) / m

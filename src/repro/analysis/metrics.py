@@ -1,0 +1,86 @@
+"""Throughput, utilisation and delay metrics used across the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def utilization(delivered_bits: float, offered_bits: float) -> float:
+    """Fraction of the link's offered capacity that carried useful traffic.
+
+    Utilisation is clipped to ``[0, 1]`` — rounding in the opportunity
+    accounting can push the raw ratio marginally above one.
+    """
+    if offered_bits <= 0:
+        return 0.0
+    return float(min(max(delivered_bits / offered_bits, 0.0), 1.0))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Percentile of a sequence (0.0 for an empty sequence)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, pct))
+
+
+def mean(values: Sequence[float]) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(arr))
+
+
+def normalize_to_reference(results: Mapping[str, float],
+                           reference: str) -> Dict[str, float]:
+    """Normalise a metric dictionary to one scheme's value.
+
+    The paper's summary table (§1) reports throughput and delay normalised to
+    ABC; this helper produces that representation.
+    """
+    if reference not in results:
+        raise KeyError(f"reference scheme {reference!r} missing from results")
+    ref = results[reference]
+    if ref == 0:
+        raise ValueError("reference value must be non-zero")
+    return {name: value / ref for name, value in results.items()}
+
+
+def pareto_frontier(points: Iterable[tuple[str, float, float]]
+                    ) -> list[tuple[str, float, float]]:
+    """Return the Pareto-optimal subset of ``(name, delay, throughput)``.
+
+    A point is on the frontier if no other point has both lower delay and
+    higher throughput.  Fig. 8 draws this frontier over the prior schemes and
+    shows ABC sitting outside it.
+    """
+    pts = list(points)
+    frontier = []
+    for name, delay, tput in pts:
+        dominated = any(
+            (other_delay <= delay and other_tput >= tput)
+            and (other_delay < delay or other_tput > tput)
+            for other_name, other_delay, other_tput in pts
+            if other_name != name
+        )
+        if not dominated:
+            frontier.append((name, delay, tput))
+    return sorted(frontier, key=lambda item: item[1])
+
+
+def is_outside_frontier(candidate: tuple[float, float],
+                        frontier_points: Iterable[tuple[float, float]]) -> bool:
+    """True when ``candidate = (delay, throughput)`` dominates the frontier.
+
+    Used to assert the paper's qualitative claim that ABC sits outside the
+    Pareto frontier of prior schemes: for every frontier point ABC either has
+    lower delay with at least as much throughput, or more throughput with at
+    most the same delay.
+    """
+    delay, tput = candidate
+    for other_delay, other_tput in frontier_points:
+        if other_delay <= delay and other_tput >= tput:
+            return False
+    return True

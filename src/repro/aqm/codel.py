@@ -1,0 +1,117 @@
+"""CoDel (Controlled Delay) active queue management.
+
+Implementation of the CoDel dequeue-time algorithm from Nichols & Jacobson,
+"Controlling Queue Delay" (ACM Queue 2012) and RFC 8289.  Packets whose
+sojourn time has exceeded ``target`` for at least ``interval`` are dropped (or
+ECN-marked when ``ecn=True``) at a rate that increases with the square root of
+the number of drops, which is the control law that gives CoDel its name.
+
+The paper pairs CoDel with Cubic ("Cubic+Codel"): it removes bufferbloat but
+cannot signal rate increases, which is exactly the behaviour Fig. 1c shows and
+ABC improves on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.simulator.packet import Packet, apply_ce
+from repro.simulator.qdisc import Qdisc
+
+
+class CoDelQdisc(Qdisc):
+    """CoDel AQM over a FIFO queue."""
+
+    name = "codel"
+
+    def __init__(self, buffer_packets: int = 250, target: float = 0.005,
+                 interval: float = 0.1, ecn: bool = False):
+        super().__init__(buffer_packets=buffer_packets)
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.ecn = ecn
+
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._drop_count = 0
+        self._last_drop_count = 0
+        self._dropping = False
+
+    # ------------------------------------------------------------ enqueue
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.backlog_packets >= self.buffer_packets:
+            self.dropped_packets += 1
+            return False
+        self._push(packet, now)
+        return True
+
+    # ------------------------------------------------------------ dequeue
+    def _should_flag(self, packet: Packet, now: float) -> bool:
+        """CoDel's ``dodeque`` check: has sojourn stayed above target?"""
+        sojourn = now - packet.enqueue_time
+        if sojourn < self.target or self.backlog_bytes <= 2 * packet.size:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def _control_law(self, t: float) -> float:
+        return t + self.interval / math.sqrt(max(self._drop_count, 1))
+
+    def _handle(self, packet: Packet, now: float) -> Optional[Packet]:
+        """Drop or ECN-mark a packet selected by the control law."""
+        if self.ecn and packet.ecn.is_ecn_capable:
+            packet.ecn = apply_ce(packet.ecn)
+            self.marked_packets += 1
+            return packet
+        self.dropped_packets += 1
+        return None
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self._pop(now)
+        if packet is None:
+            self._dropping = False
+            return None
+
+        flag = self._should_flag(packet, now)
+        if self._dropping:
+            if not flag:
+                self._dropping = False
+            else:
+                while self._dropping and now >= self._drop_next:
+                    handled = self._handle(packet, now)
+                    self._drop_count += 1
+                    if handled is not None:
+                        # ECN mark: deliver the marked packet, stay in state.
+                        self._drop_next = self._control_law(self._drop_next)
+                        return handled
+                    packet = self._pop(now)
+                    if packet is None:
+                        self._dropping = False
+                        return None
+                    if not self._should_flag(packet, now):
+                        self._dropping = False
+                    else:
+                        self._drop_next = self._control_law(self._drop_next)
+        elif flag and (now - self._drop_next < self.interval
+                       or now - self._first_above_time >= self.interval):
+            handled = self._handle(packet, now)
+            self._dropping = True
+            delta = self._drop_count - self._last_drop_count
+            self._drop_count = 1
+            if delta > 1 and now - self._drop_next < 16 * self.interval:
+                self._drop_count = delta
+            self._drop_next = self._control_law(now)
+            self._last_drop_count = self._drop_count
+            if handled is not None:
+                return handled
+            packet = self._pop(now)
+            if packet is None:
+                self._dropping = False
+                return None
+        return packet

@@ -1,0 +1,16 @@
+"""Drop-tail FIFO queue.
+
+This is simply :class:`~repro.simulator.qdisc.FifoQdisc` under the name the
+experiments use.  The paper's default cellular buffer is 250 MTU-sized
+packets (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.simulator.qdisc import FifoQdisc
+
+
+class DropTailQdisc(FifoQdisc):
+    """A deep drop-tail buffer (the bufferbloat baseline)."""
+
+    name = "droptail"

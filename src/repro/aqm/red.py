@@ -1,0 +1,75 @@
+"""RED (Random Early Detection) AQM, Floyd & Jacobson 1993.
+
+RED keeps an EWMA of the queue length and drops/marks arriving packets with a
+probability that rises linearly between ``min_th`` and ``max_th``.  The paper
+cites RED as the classic AQM that can signal congestion early but — like all
+AQMs — cannot signal rate *increases* (§2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.simulator.packet import Packet, apply_ce
+from repro.simulator.qdisc import Qdisc
+
+
+class REDQdisc(Qdisc):
+    """Random Early Detection over a FIFO queue."""
+
+    name = "red"
+
+    def __init__(self, buffer_packets: int = 250, min_th: int = 20,
+                 max_th: int = 80, max_p: float = 0.1, weight: float = 0.002,
+                 ecn: bool = False, seed: int = 0):
+        super().__init__(buffer_packets=buffer_packets)
+        if not 0 < min_th < max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.ecn = ecn
+        self._rng = random.Random(seed)
+        self.avg_queue = 0.0
+        self._count_since_mark = -1
+
+    def _update_average(self) -> None:
+        self.avg_queue = ((1.0 - self.weight) * self.avg_queue
+                          + self.weight * self.backlog_packets)
+
+    def _mark_probability(self) -> float:
+        if self.avg_queue < self.min_th:
+            return 0.0
+        if self.avg_queue >= self.max_th:
+            return 1.0
+        base = self.max_p * (self.avg_queue - self.min_th) / (self.max_th - self.min_th)
+        if self._count_since_mark >= 0:
+            denom = max(1.0 - self._count_since_mark * base, 1e-6)
+            return min(base / denom, 1.0)
+        return base
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._update_average()
+        if self.backlog_packets >= self.buffer_packets:
+            self.dropped_packets += 1
+            return False
+        prob = self._mark_probability()
+        if prob > 0:
+            self._count_since_mark += 1
+            if prob >= 1.0 or self._rng.random() < prob:
+                self._count_since_mark = -1
+                if self.ecn and packet.ecn.is_ecn_capable:
+                    packet.ecn = apply_ce(packet.ecn)
+                    self.marked_packets += 1
+                else:
+                    self.dropped_packets += 1
+                    return False
+        self._push(packet, now)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        return self._pop(now)

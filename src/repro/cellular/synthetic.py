@@ -1,0 +1,206 @@
+"""Synthetic cellular traces that stand in for the paper's recorded LTE traces.
+
+The paper's emulation uses packet-delivery traces recorded on Verizon, AT&T
+and T-Mobile LTE networks (uplink and downlink).  We cannot redistribute those
+recordings, so this module generates synthetic traces that reproduce the
+properties the paper's motivation section relies on:
+
+* link rate varies rapidly — within one second the capacity can both double
+  and halve (a 4× swing, §2);
+* the dynamic range across a trace is large (hundreds of kbit/s to tens of
+  Mbit/s);
+* there are occasional outages during which no packets are delivered
+  (the paper notes the traces "include outages (highlighting ABC's ability to
+  handle ACK losses)", §6.2).
+
+The generator is a geometric (log-space) random walk sampled every
+``update_interval`` seconds, clipped to ``[min_rate, max_rate]``, with a
+two-state (on/outage) Markov modulator.  Eight named configurations play the
+role of the paper's eight operator traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cellular.trace import CellularTrace
+from repro.simulator.packet import MTU
+
+
+@dataclass
+class SyntheticTraceConfig:
+    """Parameters of the synthetic trace generator.
+
+    Attributes
+    ----------
+    mean_rate_bps:
+        Long-run geometric mean of the link rate.
+    min_rate_bps, max_rate_bps:
+        Hard clipping bounds (dynamic range of the link).
+    volatility:
+        Standard deviation of the per-step log-rate increment.  A volatility
+        of ~0.25 with a 100 ms step allows the rate to double or halve within
+        roughly a second, matching the paper's description.
+    update_interval:
+        Random-walk step, in seconds.
+    outage_rate_per_s:
+        Poisson rate of outage onsets (per second of trace).
+    outage_duration_s:
+        Mean outage duration (exponential).
+    mean_reversion:
+        Pull toward the long-run mean per step (0 = pure random walk).
+    """
+
+    mean_rate_bps: float = 10e6
+    min_rate_bps: float = 0.3e6
+    max_rate_bps: float = 30e6
+    volatility: float = 0.25
+    update_interval: float = 0.1
+    outage_rate_per_s: float = 0.05
+    outage_duration_s: float = 0.3
+    mean_reversion: float = 0.05
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.min_rate_bps <= 0 or self.max_rate_bps <= self.min_rate_bps:
+            raise ValueError("need 0 < min_rate_bps < max_rate_bps")
+        if not self.min_rate_bps <= self.mean_rate_bps <= self.max_rate_bps:
+            raise ValueError("mean_rate_bps must lie within [min, max]")
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if self.volatility < 0 or self.mean_reversion < 0:
+            raise ValueError("volatility and mean_reversion must be non-negative")
+
+
+def rate_series(config: SyntheticTraceConfig, duration: float,
+                seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the underlying piecewise-constant rate series.
+
+    Returns ``(segment_start_times_s, rates_bps)``.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    n_steps = int(math.ceil(duration / config.update_interval))
+    times = np.arange(n_steps) * config.update_interval
+
+    log_mean = math.log(config.mean_rate_bps)
+    log_rate = log_mean
+    rates = np.empty(n_steps)
+    for i in range(n_steps):
+        drift = config.mean_reversion * (log_mean - log_rate)
+        log_rate += drift + rng.normal(0.0, config.volatility)
+        log_rate = min(max(log_rate, math.log(config.min_rate_bps)),
+                       math.log(config.max_rate_bps))
+        rates[i] = math.exp(log_rate)
+
+    # Outage modulation: zero-rate intervals with Poisson onsets.
+    if config.outage_rate_per_s > 0:
+        t = 0.0
+        while True:
+            gap = rng.exponential(1.0 / config.outage_rate_per_s)
+            t += gap
+            if t >= duration:
+                break
+            length = rng.exponential(config.outage_duration_s)
+            start_idx = int(t / config.update_interval)
+            end_idx = min(int((t + length) / config.update_interval) + 1, n_steps)
+            rates[start_idx:end_idx] = 0.0
+            t += length
+    return times, rates
+
+
+def synthetic_trace(config: SyntheticTraceConfig, duration: float,
+                    seed: int = 0, name: Optional[str] = None) -> CellularTrace:
+    """Generate a :class:`CellularTrace` of the requested duration."""
+    times, rates = rate_series(config, duration, seed=seed)
+    opportunities: List[float] = []
+    step = config.update_interval
+    for start, rate in zip(times, rates):
+        if rate <= 0:
+            continue
+        interval = MTU * 8.0 / rate
+        t = start
+        end = start + step
+        while t < end:
+            opportunities.append(t)
+            t += interval
+    if not opportunities:
+        # Degenerate config (all outage): provide one opportunity so the
+        # trace object is valid; the link is effectively dead.
+        opportunities = [duration]
+    return CellularTrace(opportunities, name=name or config.name)
+
+
+#: Configurations standing in for the paper's eight operator traces.  Rates
+#: and volatilities differ per "operator" so the sweep exercises a range of
+#: regimes, from a fast low-variance carrier to a slow bursty one.
+TRACE_LIBRARY: Dict[str, SyntheticTraceConfig] = {
+    "Verizon-LTE-1": SyntheticTraceConfig(mean_rate_bps=9e6, min_rate_bps=0.4e6,
+                                          max_rate_bps=24e6, volatility=0.28,
+                                          outage_rate_per_s=0.04, name="Verizon-LTE-1"),
+    "Verizon-LTE-2": SyntheticTraceConfig(mean_rate_bps=6e6, min_rate_bps=0.3e6,
+                                          max_rate_bps=20e6, volatility=0.35,
+                                          outage_rate_per_s=0.06, name="Verizon-LTE-2"),
+    "Verizon-LTE-3": SyntheticTraceConfig(mean_rate_bps=12e6, min_rate_bps=0.8e6,
+                                          max_rate_bps=36e6, volatility=0.22,
+                                          outage_rate_per_s=0.03, name="Verizon-LTE-3"),
+    "Verizon-LTE-4": SyntheticTraceConfig(mean_rate_bps=4e6, min_rate_bps=0.2e6,
+                                          max_rate_bps=14e6, volatility=0.40,
+                                          outage_rate_per_s=0.08, name="Verizon-LTE-4"),
+    "TMobile-LTE-1": SyntheticTraceConfig(mean_rate_bps=8e6, min_rate_bps=0.5e6,
+                                          max_rate_bps=28e6, volatility=0.30,
+                                          outage_rate_per_s=0.05, name="TMobile-LTE-1"),
+    "TMobile-LTE-2": SyntheticTraceConfig(mean_rate_bps=5e6, min_rate_bps=0.3e6,
+                                          max_rate_bps=16e6, volatility=0.33,
+                                          outage_rate_per_s=0.07, name="TMobile-LTE-2"),
+    "ATT-LTE-1": SyntheticTraceConfig(mean_rate_bps=7e6, min_rate_bps=0.4e6,
+                                      max_rate_bps=22e6, volatility=0.26,
+                                      outage_rate_per_s=0.05, name="ATT-LTE-1"),
+    "ATT-LTE-2": SyntheticTraceConfig(mean_rate_bps=3e6, min_rate_bps=0.2e6,
+                                      max_rate_bps=10e6, volatility=0.38,
+                                      outage_rate_per_s=0.09, name="ATT-LTE-2"),
+}
+
+
+def synthetic_trace_set(duration: float = 30.0, seed: int = 1,
+                        names: Optional[List[str]] = None) -> Dict[str, CellularTrace]:
+    """Generate the standard eight-trace evaluation set (Figs. 9, 15, 16)."""
+    selected = names if names is not None else list(TRACE_LIBRARY)
+    traces = {}
+    for offset, name in enumerate(selected):
+        config = TRACE_LIBRARY[name]
+        traces[name] = synthetic_trace(config, duration, seed=seed + offset, name=name)
+    return traces
+
+
+def lte_showcase_trace(duration: float = 30.0, seed: int = 7) -> CellularTrace:
+    """The single LTE trace used for the motivating time series (Fig. 1).
+
+    It is tuned to show the features Fig. 1 highlights: capacity mostly in the
+    5–15 Mbit/s band, sharp drops to below 1 Mbit/s (where Cubic's bufferbloat
+    appears) and sharp recoveries (where AQM schemes underutilise).
+    """
+    config = SyntheticTraceConfig(
+        mean_rate_bps=8e6, min_rate_bps=0.4e6, max_rate_bps=16e6,
+        volatility=0.35, update_interval=0.1, outage_rate_per_s=0.06,
+        outage_duration_s=0.4, mean_reversion=0.04, name="LTE-showcase")
+    return synthetic_trace(config, duration, seed=seed, name="LTE-showcase")
+
+
+def uplink_downlink_pair(duration: float = 30.0, seed: int = 11
+                         ) -> tuple[CellularTrace, CellularTrace]:
+    """A correlated uplink/downlink trace pair for the two-bottleneck
+    experiment (Fig. 8c)."""
+    downlink = synthetic_trace(TRACE_LIBRARY["Verizon-LTE-1"], duration,
+                               seed=seed, name="Verizon-downlink")
+    uplink_cfg = SyntheticTraceConfig(
+        mean_rate_bps=5e6, min_rate_bps=0.3e6, max_rate_bps=12e6,
+        volatility=0.3, outage_rate_per_s=0.05, name="Verizon-uplink")
+    uplink = synthetic_trace(uplink_cfg, duration, seed=seed + 1,
+                             name="Verizon-uplink")
+    return uplink, downlink

@@ -1,0 +1,41 @@
+"""PK-ABC: ABC with perfect knowledge of future link capacity (§6.6).
+
+The paper's PK-ABC variant assumes the base station can predict its resource
+allocation: instead of the *current* capacity estimate, the router uses the
+exact link rate expected one RTT in the future when computing the target rate.
+On the Verizon uplink trace this cuts the 95th-percentile per-packet delay
+from 97 ms to 28 ms at the same (~90 %) utilisation.
+
+With a trace-driven link the future is simply the next stretch of the trace,
+so PK-ABC is the ABC router with a look-ahead capacity callback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.params import ABCParams
+from repro.core.router import ABCRouterQdisc
+
+
+class PKABCRouterQdisc(ABCRouterQdisc):
+    """ABC router that reads the link capacity one RTT into the future."""
+
+    name = "pk-abc"
+
+    def __init__(self, params: Optional[ABCParams] = None,
+                 buffer_packets: int = 250, lookahead: float = 0.1,
+                 **kwargs):
+        super().__init__(params=params, buffer_packets=buffer_packets, **kwargs)
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.lookahead = lookahead
+
+    def capacity_bps(self, now: float) -> float:
+        if self.capacity_fn is not None:
+            return max(self.capacity_fn(now), 0.0) * self.capacity_share
+        link = self.link
+        if link is not None and hasattr(link, "future_capacity_bps"):
+            future = link.future_capacity_bps(now, self.lookahead)
+            return max(future, 0.0) * self.capacity_share
+        return super().capacity_bps(now)

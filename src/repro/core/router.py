@@ -1,0 +1,174 @@
+"""The ABC router: target rate (Eq. 1), accelerate fraction (Eq. 2), marking.
+
+The router is implemented as a qdisc, mirroring the paper's Linux qdisc kernel
+module (§6.1).  On every dequeued packet it:
+
+1. measures the dequeue rate ``cr(t)`` over a sliding window of length ``T``;
+2. reads the link capacity ``µ(t)`` (from the owning link, from a supplied
+   capacity callback, or — on WiFi — from the §4.1 estimator);
+3. computes the target rate ``tr(t) = η·µ(t) − µ(t)/δ·(x(t) − dt)+``;
+4. converts it to the accelerate fraction ``f(t) = min(tr/(2·cr), 1)``;
+5. marks the packet accelerate or brake through the deterministic token
+   bucket of Algorithm 1, honouring the rule that accelerates may be
+   downgraded to brakes but never upgraded (multi-bottleneck support).
+
+Setting ``feedback_basis="enqueue"`` reproduces the ablation of Fig. 2, where
+the fraction is computed from the enqueue rate the way prior explicit schemes
+do — the resulting feedback lags capacity changes by an RTT and roughly
+doubles tail queuing delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.marking import ProbabilisticMarker, TokenBucketMarker
+from repro.core.params import ABCParams
+from repro.simulator.estimators import WindowedRateEstimator
+from repro.simulator.packet import ECN, Packet, apply_brake
+from repro.simulator.qdisc import Qdisc
+
+#: Type of the optional capacity callback: ``capacity_bps = fn(now)``.
+CapacityFn = Callable[[float], float]
+
+
+class ABCRouterQdisc(Qdisc):
+    """ABC marking router implemented as a queueing discipline."""
+
+    name = "abc"
+
+    def __init__(self, params: Optional[ABCParams] = None,
+                 buffer_packets: int = 250,
+                 capacity_fn: Optional[CapacityFn] = None,
+                 feedback_basis: str = "dequeue",
+                 delay_mode: str = "standing",
+                 probabilistic_marking: bool = False,
+                 capacity_share: float = 1.0):
+        super().__init__(buffer_packets=buffer_packets)
+        if feedback_basis not in ("dequeue", "enqueue"):
+            raise ValueError("feedback_basis must be 'dequeue' or 'enqueue'")
+        if delay_mode not in ("standing", "sojourn"):
+            raise ValueError("delay_mode must be 'standing' or 'sojourn'")
+        if not 0.0 < capacity_share <= 1.0:
+            raise ValueError("capacity_share must be in (0, 1]")
+        self.params = params if params is not None else ABCParams()
+        self.capacity_fn = capacity_fn
+        self.feedback_basis = feedback_basis
+        self.delay_mode = delay_mode
+        self.capacity_share = capacity_share
+
+        window = self.params.measurement_window
+        self._dequeue_rate = WindowedRateEstimator(window=window)
+        self._enqueue_rate = WindowedRateEstimator(window=window)
+        if probabilistic_marking:
+            self.marker = ProbabilisticMarker()
+        else:
+            self.marker = TokenBucketMarker(token_limit=self.params.token_limit)
+
+        # Introspection counters used by tests and the feedback ablation.
+        self.accel_marked = 0
+        self.brake_marked = 0
+        self.last_target_rate = 0.0
+        self.last_fraction = 1.0
+        self.last_capacity = 0.0
+        self.last_queuing_delay = 0.0
+
+    # ------------------------------------------------------------ measurement
+    def capacity_bps(self, now: float) -> float:
+        """Link capacity µ(t) available to ABC traffic."""
+        if self.capacity_fn is not None:
+            capacity = self.capacity_fn(now)
+        elif self.link is not None:
+            capacity = self.link.capacity_bps(now)
+        else:
+            capacity = 0.0
+        return max(capacity, 0.0) * self.capacity_share
+
+    def set_capacity_share(self, share: float) -> None:
+        """Restrict the target-rate computation to a share of the link
+        (used by the two-queue coexistence scheduler, §5.2)."""
+        if not 0.0 < share <= 1.0:
+            raise ValueError("share must be in (0, 1]")
+        self.capacity_share = share
+
+    def queuing_delay_estimate(self, now: float, capacity: float) -> float:
+        """The x(t) term of Eq. (1)."""
+        if self.delay_mode == "sojourn":
+            return self.sojourn_time(now)
+        return self.queuing_delay(now, capacity)
+
+    # ------------------------------------------------------------ control law
+    def target_rate(self, now: float, capacity: Optional[float] = None) -> float:
+        """Eq. (1): ``tr(t) = η·µ(t) − µ(t)/δ·(x(t) − dt)+``, floored at 0."""
+        p = self.params
+        mu = self.capacity_bps(now) if capacity is None else capacity
+        x = self.queuing_delay_estimate(now, mu)
+        excess_delay = max(x - p.delay_threshold, 0.0)
+        tr = p.eta * mu - (mu / p.delta) * excess_delay
+        self.last_capacity = mu
+        self.last_queuing_delay = x
+        self.last_target_rate = max(tr, 0.0)
+        return self.last_target_rate
+
+    def accel_fraction(self, now: float) -> float:
+        """Eq. (2): ``f(t) = min(tr(t) / (2·cr(t)), 1)``.
+
+        With ``feedback_basis="enqueue"`` the denominator uses the enqueue
+        rate instead (the Fig. 2 ablation).
+        """
+        tr = self.target_rate(now)
+        if self.feedback_basis == "dequeue":
+            reference = self._dequeue_rate.rate_bps(now)
+        else:
+            reference = self._enqueue_rate.rate_bps(now)
+        if reference <= 0.0:
+            # No rate measurement yet (start-up or after an idle period):
+            # allow senders to ramp up by marking accelerate.
+            fraction = 1.0
+        else:
+            fraction = min(0.5 * tr / reference, 1.0)
+        self.last_fraction = max(fraction, 0.0)
+        return self.last_fraction
+
+    # ------------------------------------------------------------ queue ops
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.backlog_packets >= self.buffer_packets:
+            self.dropped_packets += 1
+            return False
+        self._enqueue_rate.add(now, packet.size)
+        self._push(packet, now)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self._pop(now)
+        if packet is None:
+            return None
+        self._dequeue_rate.add(now, packet.size)
+        self._apply_marking(packet, now)
+        return packet
+
+    def _apply_marking(self, packet: Packet, now: float) -> None:
+        """Mark a departing packet; only ABC (accelerate-carrying) packets are
+        eligible, and marks are only ever downgraded (accel → brake)."""
+        fraction = self.accel_fraction(now)
+        if packet.ecn != ECN.ACCEL:
+            # Brake/CE/Not-ECT packets pass through untouched (the router may
+            # not upgrade), but the token bucket still advances (Algorithm 1
+            # adds f(t) for every outgoing packet) so that the accelerate
+            # fraction along a multi-bottleneck path is the minimum of the
+            # per-router fractions rather than their product.
+            self.marker.observe(fraction)
+            return
+        keep_accel = self.marker.mark(fraction)
+        if keep_accel:
+            self.accel_marked += 1
+        else:
+            packet.ecn = apply_brake(packet.ecn)
+            self.brake_marked += 1
+            self.marked_packets += 1
+
+    # ------------------------------------------------------------ stats
+    @property
+    def observed_accel_fraction(self) -> float:
+        total = self.accel_marked + self.brake_marked
+        return self.accel_marked / total if total else 0.0

@@ -1,0 +1,326 @@
+"""Coexistence experiments: Figs. 6, 7, 11, 12 and 13.
+
+* Fig. 6 — an ABC flow traversing an ABC wireless link (stepped rate) followed
+  by a 12 Mbit/s wired drop-tail link: whichever of the two windows
+  (``w_abc``, ``w_cubic``) is smaller controls the rate, and the other stays
+  capped at 2× the in-flight packets.
+* Fig. 11 — the same topology with on-off Cubic cross traffic on the wired
+  link: ABC tracks the ideal rate (the min of the wireless rate and its fair
+  share of the wired link).
+* Fig. 7 / Fig. 12 — ABC and Cubic flows sharing an ABC bottleneck through the
+  two-queue scheduler; Fig. 12 adds Poisson short flows and compares the
+  max-min weight allocation against RCP's Zombie-List strategy.
+* Fig. 13 — one backlogged ABC flow sharing the bottleneck with 200
+  application-limited ABC flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aqm import DropTailQdisc
+from repro.cc import make_cc
+from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.core.coexistence import (DualQueueABCQdisc, MaxMinWeightController,
+                                    ZombieListWeightController)
+from repro.core.params import ABCParams
+from repro.core.router import ABCRouterQdisc
+from repro.simulator.link import SteppedRate
+from repro.simulator.scenario import Scenario
+from repro.simulator.traffic import FixedSizeSource, OnOffSource, RateLimitedSource
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 / Fig. 11 — non-ABC bottlenecks on the path
+# ---------------------------------------------------------------------------
+@dataclass
+class DualBottleneckTrace:
+    """Time series of the Fig. 6 / Fig. 11 experiment."""
+
+    times: np.ndarray
+    throughput_mbps: np.ndarray
+    queuing_delay_ms: np.ndarray
+    w_abc: np.ndarray
+    w_cubic: np.ndarray
+    wireless_rate_mbps: np.ndarray
+    ideal_rate_mbps: np.ndarray
+    tracking_error: float = 0.0
+
+
+def _default_wireless_steps(duration: float, period: float = 5.0,
+                            rates_mbps: Sequence[float] = (18, 6, 14, 4, 10, 22, 8, 16)
+                            ) -> SteppedRate:
+    steps = []
+    t = 0.0
+    index = 0
+    while t < duration:
+        steps.append((t, rates_mbps[index % len(rates_mbps)] * 1e6))
+        t += period
+        index += 1
+    return SteppedRate(steps)
+
+
+def fig6_nonabc_bottleneck(duration: float = 80.0, wired_mbps: float = 12.0,
+                           rtt: float = 0.1, sample_interval: float = 0.25,
+                           cross_traffic: bool = False,
+                           cross_schedule: Optional[Sequence[tuple]] = None
+                           ) -> DualBottleneckTrace:
+    """Run the wireless(ABC)+wired(drop-tail) experiment.
+
+    With ``cross_traffic=True`` this is the Fig. 11 experiment: an on-off
+    Cubic flow shares the wired link, so ABC's ideal rate becomes the minimum
+    of the wireless rate and its fair share of the wired link.
+    """
+    scenario = Scenario()
+    wireless_capacity = _default_wireless_steps(duration)
+    params = ABCParams()
+    wireless = scenario.add_rate_link(wireless_capacity,
+                                      qdisc=ABCRouterQdisc(params=params,
+                                                           buffer_packets=500),
+                                      name="wireless")
+    wired = scenario.add_rate_link(wired_mbps * 1e6,
+                                   qdisc=DropTailQdisc(buffer_packets=100),
+                                   name="wired")
+    abc_flow = scenario.add_flow(make_cc("abc", params=params),
+                                 [wireless, wired], rtt=rtt, label="abc")
+
+    cross_flows = []
+    if cross_traffic:
+        if cross_schedule is None:
+            third = duration / 3.0
+            cross_schedule = [(third, 2 * third), (2 * third + 1e-9, duration)]
+        # One Cubic cross-traffic flow per on-interval keeps the arrival
+        # pattern simple and mirrors the paper's on-off cross traffic.
+        cross_flows.append(scenario.add_flow(
+            make_cc("cubic"), [wired], rtt=rtt,
+            source=OnOffSource(list(cross_schedule)), label="cross"))
+
+    # Sample windows and rates while the simulation runs.
+    samples: List[tuple] = []
+
+    def _sample() -> None:
+        now = scenario.env.now
+        cc = abc_flow.cc
+        samples.append((now, cc.w_abc, cc.w_nonabc,
+                        wireless_capacity.rate_at(now)))
+        if now + sample_interval <= duration:
+            scenario.env.schedule(sample_interval, _sample)
+
+    scenario.env.schedule(0.0, _sample)
+    scenario.run(duration)
+
+    times = np.array([s[0] for s in samples])
+    w_abc = np.array([s[1] for s in samples])
+    w_cubic = np.array([min(s[2], 10_000.0) for s in samples])
+    wireless_rate = np.array([s[3] for s in samples]) / 1e6
+
+    t_bins, tput = abc_flow.stats.throughput_timeseries(bin_size=sample_interval,
+                                                        t1=duration)
+    _, queuing = abc_flow.stats.queuing_delay_timeseries(bin_size=sample_interval)
+    n = min(len(times), len(tput), len(queuing))
+
+    # Ideal rate: min(wireless rate, fair share of the wired link).
+    ideal = []
+    for i in range(n):
+        now = times[i]
+        fair_share = wired_mbps
+        if cross_traffic and any(start <= now < stop for start, stop in cross_schedule):
+            fair_share = wired_mbps / 2.0
+        ideal.append(min(wireless_rate[i], fair_share))
+    ideal_arr = np.array(ideal)
+    achieved = tput[:n] / 1e6
+    with np.errstate(divide="ignore", invalid="ignore"):
+        errors = np.abs(achieved - ideal_arr) / np.maximum(ideal_arr, 1e-9)
+    # Ignore the first few seconds of ramp-up when scoring tracking accuracy.
+    settled = errors[times[:n] > 5.0]
+    tracking_error = float(np.mean(settled)) if settled.size else float("nan")
+
+    return DualBottleneckTrace(
+        times=times[:n],
+        throughput_mbps=achieved,
+        queuing_delay_ms=queuing[:n] * 1000.0,
+        w_abc=w_abc[:n],
+        w_cubic=w_cubic[:n],
+        wireless_rate_mbps=wireless_rate[:n],
+        ideal_rate_mbps=ideal_arr,
+        tracking_error=tracking_error,
+    )
+
+
+def fig11_cross_traffic(duration: float = 80.0, **kwargs) -> DualBottleneckTrace:
+    """Fig. 11 is Fig. 6 plus on-off cross traffic on the wired link."""
+    return fig6_nonabc_bottleneck(duration=duration, cross_traffic=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 / Fig. 12 — sharing an ABC bottleneck with non-ABC flows
+# ---------------------------------------------------------------------------
+@dataclass
+class CoexistenceResult:
+    """Long-flow throughputs under the two-queue ABC scheduler."""
+
+    abc_throughputs_mbps: List[float]
+    cubic_throughputs_mbps: List[float]
+    abc_queuing_p95_ms: float
+    cubic_queuing_p95_ms: float
+    weight_history: List[tuple] = field(default_factory=list)
+
+    @property
+    def mean_abc_mbps(self) -> float:
+        return float(np.mean(self.abc_throughputs_mbps)) if self.abc_throughputs_mbps else 0.0
+
+    @property
+    def mean_cubic_mbps(self) -> float:
+        return float(np.mean(self.cubic_throughputs_mbps)) if self.cubic_throughputs_mbps else 0.0
+
+    @property
+    def throughput_gap(self) -> float:
+        """Relative difference between mean Cubic and mean ABC throughput."""
+        denom = max(self.mean_abc_mbps, 1e-9)
+        return (self.mean_cubic_mbps - self.mean_abc_mbps) / denom
+
+
+def fig7_coexistence_timeseries(link_mbps: float = 24.0, duration: float = 120.0,
+                                rtt: float = 0.1, stagger: float = 30.0
+                                ) -> CoexistenceResult:
+    """Fig. 7: two ABC then two Cubic flows arrive one after another."""
+    return _run_shared_bottleneck(
+        link_mbps=link_mbps, duration=duration, rtt=rtt,
+        n_abc=2, n_cubic=2, abc_starts=(0.0, stagger),
+        cubic_starts=(2 * stagger, 3 * stagger),
+        controller=MaxMinWeightController(interval=1.0),
+        short_flow_load=0.0, warmup=3 * stagger)
+
+
+def _run_shared_bottleneck(link_mbps: float, duration: float, rtt: float,
+                           n_abc: int, n_cubic: int,
+                           controller, short_flow_load: float,
+                           abc_starts: Optional[Sequence[float]] = None,
+                           cubic_starts: Optional[Sequence[float]] = None,
+                           short_flow_bytes: int = 50_000,
+                           warmup: float = 5.0, seed: int = 17
+                           ) -> CoexistenceResult:
+    params = ABCParams()
+    scenario = Scenario()
+    qdisc = DualQueueABCQdisc(params=params, buffer_packets=500,
+                              controller=controller)
+    link = scenario.add_rate_link(link_mbps * 1e6, qdisc=qdisc, name="shared")
+
+    abc_flows = []
+    for i in range(n_abc):
+        start = abc_starts[i] if abc_starts else 0.0
+        abc_flows.append(scenario.add_flow(make_cc("abc", params=params), [link],
+                                           rtt=rtt, start_time=start,
+                                           label=f"abc-{i}"))
+    cubic_flows = []
+    for i in range(n_cubic):
+        start = cubic_starts[i] if cubic_starts else 0.0
+        cubic_flows.append(scenario.add_flow(make_cc("cubic"), [link], rtt=rtt,
+                                             start_time=start,
+                                             label=f"cubic-{i}"))
+
+    # Poisson arrivals of short non-ABC flows offering a fixed load.
+    if short_flow_load > 0:
+        rng = np.random.default_rng(seed)
+        offered_bps = short_flow_load * link_mbps * 1e6
+        arrival_rate = offered_bps / (short_flow_bytes * 8.0)
+        t = warmup
+        while t < duration:
+            t += rng.exponential(1.0 / arrival_rate)
+            if t >= duration:
+                break
+            scenario.add_flow(make_cc("cubic"), [link], rtt=rtt, start_time=t,
+                              source=FixedSizeSource(short_flow_bytes),
+                              label="short")
+
+    scenario.run(duration)
+
+    abc_tputs = [f.stats.throughput_bps(warmup, duration) / 1e6 for f in abc_flows]
+    cubic_tputs = [f.stats.throughput_bps(warmup, duration) / 1e6 for f in cubic_flows]
+    abc_q = [f.stats.delay_percentile(95, kind="queuing") * 1000 for f in abc_flows]
+    cubic_q = [f.stats.delay_percentile(95, kind="queuing") * 1000 for f in cubic_flows]
+    return CoexistenceResult(
+        abc_throughputs_mbps=abc_tputs,
+        cubic_throughputs_mbps=cubic_tputs,
+        abc_queuing_p95_ms=float(np.mean(abc_q)) if abc_q else 0.0,
+        cubic_queuing_p95_ms=float(np.mean(cubic_q)) if cubic_q else 0.0,
+        weight_history=list(qdisc.weight_history),
+    )
+
+
+def fig12_offered_load_sweep(loads: Sequence[float] = (0.0625, 0.125, 0.25, 0.5),
+                             strategy: str = "maxmin", link_mbps: float = 24.0,
+                             duration: float = 40.0, rtt: float = 0.1,
+                             n_long: int = 3, seed: int = 17
+                             ) -> Dict[float, CoexistenceResult]:
+    """Fig. 12: long ABC and Cubic flows plus Poisson short flows.
+
+    ``strategy`` selects the queue-weight controller: ``"maxmin"`` (the
+    paper's approach) or ``"zombie"`` (RCP's flow-count equalisation, which
+    over-serves the queue holding the short flows).
+    """
+    out: Dict[float, CoexistenceResult] = {}
+    for load in loads:
+        if strategy == "maxmin":
+            controller = MaxMinWeightController(interval=1.0)
+        elif strategy == "zombie":
+            controller = ZombieListWeightController(interval=1.0)
+        else:
+            raise ValueError("strategy must be 'maxmin' or 'zombie'")
+        out[load] = _run_shared_bottleneck(
+            link_mbps=link_mbps, duration=duration, rtt=rtt,
+            n_abc=n_long, n_cubic=n_long, controller=controller,
+            short_flow_load=load, seed=seed)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — application-limited flows
+# ---------------------------------------------------------------------------
+@dataclass
+class AppLimitedResult:
+    utilization: float
+    queuing_p95_ms: float
+    backlogged_throughput_mbps: float
+    app_limited_aggregate_mbps: float
+
+
+def fig13_app_limited(num_app_limited: int = 50,
+                      aggregate_app_rate_mbps: float = 1.0,
+                      duration: float = 30.0, rtt: float = 0.1,
+                      seed: int = 23) -> AppLimitedResult:
+    """Fig. 13: a backlogged ABC flow plus many application-limited ABC flows.
+
+    The paper uses 200 application-limited flows; the default here is 50 (with
+    the same 1 Mbit/s aggregate) to keep the runtime reasonable — the claim
+    being tested (the backlogged flow still fills the link and delays stay
+    low even though most flows cannot respond to accelerates) is unchanged.
+    """
+    config = SyntheticTraceConfig(mean_rate_bps=12e6, min_rate_bps=2e6,
+                                  max_rate_bps=24e6, volatility=0.2,
+                                  outage_rate_per_s=0.0, name="app-limited")
+    trace = synthetic_trace(config, duration, seed=seed)
+    params = ABCParams()
+    scenario = Scenario()
+    link = scenario.add_cellular_link(trace,
+                                      qdisc=ABCRouterQdisc(params=params,
+                                                           buffer_packets=500),
+                                      name="cell")
+    backlogged = scenario.add_flow(make_cc("abc", params=params), [link],
+                                   rtt=rtt, label="backlogged")
+    per_flow_rate = aggregate_app_rate_mbps * 1e6 / num_app_limited
+    app_flows = [scenario.add_flow(make_cc("abc", params=params), [link], rtt=rtt,
+                                   source=RateLimitedSource(per_flow_rate),
+                                   label=f"app-{i}")
+                 for i in range(num_app_limited)]
+    result = scenario.run(duration)
+    aggregate = sum(result.flow_throughput_bps(f) for f in app_flows) / 1e6
+    return AppLimitedResult(
+        utilization=result.link_utilization(link),
+        queuing_p95_ms=result.aggregate_delay_percentile_ms(95, kind="queuing"),
+        backlogged_throughput_mbps=result.flow_throughput_bps(backlogged) / 1e6,
+        app_limited_aggregate_mbps=aggregate,
+    )

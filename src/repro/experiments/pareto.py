@@ -1,0 +1,142 @@
+"""Throughput/delay frontier experiments: Figs. 8, 9, 15, 16, 18 and Table 1.
+
+These experiments all run one backlogged flow per scheme over trace-driven
+cellular links and report utilisation against per-packet delay:
+
+* Fig. 8 — scatter on a single downlink trace, a single uplink trace, and a
+  two-bottleneck uplink+downlink path; the claim is that ABC sits outside the
+  Pareto frontier of all prior schemes.
+* Fig. 9 / Fig. 15 — utilisation, 95th-percentile delay and mean delay
+  averaged across eight operator traces.
+* Fig. 16 — the same sweep restricted to explicit schemes (XCP, XCPw, RCP,
+  VCP).
+* Fig. 18 — sensitivity to the propagation RTT (20/50/100/200 ms).
+* Table 1 (§1) — throughput and delay normalised to ABC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import is_outside_frontier, pareto_frontier
+from repro.cellular.synthetic import synthetic_trace_set, uplink_downlink_pair
+from repro.cellular.trace import CellularTrace
+from repro.experiments.runner import (EXPLICIT_SCHEMES, SCHEME_NAMES,
+                                      SingleBottleneckResult, normalized_table,
+                                      run_cellular_sweep, run_single_bottleneck,
+                                      sweep_averages)
+
+#: Scheme subset used by default for the heavier sweeps (everything).
+DEFAULT_SCHEMES: Sequence[str] = SCHEME_NAMES
+
+
+@dataclass
+class ParetoPoint:
+    scheme: str
+    delay_p95_ms: float
+    utilization: float
+    throughput_mbps: float
+
+
+@dataclass
+class ParetoScatter:
+    """One panel of Fig. 8."""
+
+    label: str
+    points: List[ParetoPoint] = field(default_factory=list)
+
+    def frontier(self, exclude: str = "abc") -> List[tuple]:
+        """Pareto frontier of every scheme except ``exclude``."""
+        others = [(p.scheme, p.delay_p95_ms, p.utilization)
+                  for p in self.points if p.scheme != exclude]
+        return pareto_frontier(others)
+
+    def abc_outside_frontier(self) -> bool:
+        abc = next((p for p in self.points if p.scheme == "abc"), None)
+        if abc is None:
+            return False
+        frontier = [(delay, util) for _, delay, util in self.frontier()]
+        return is_outside_frontier((abc.delay_p95_ms, abc.utilization), frontier)
+
+
+def _scatter_from_results(label: str,
+                          results: Mapping[str, SingleBottleneckResult]
+                          ) -> ParetoScatter:
+    scatter = ParetoScatter(label=label)
+    for scheme, res in results.items():
+        scatter.points.append(ParetoPoint(
+            scheme=scheme,
+            delay_p95_ms=res.delay_p95_ms,
+            utilization=res.utilization,
+            throughput_mbps=res.throughput_bps / 1e6,
+        ))
+    return scatter
+
+
+def fig8_pareto(schemes: Sequence[str] = DEFAULT_SCHEMES,
+                duration: float = 30.0, rtt: float = 0.1,
+                seed: int = 11) -> Dict[str, ParetoScatter]:
+    """Reproduce Fig. 8: downlink, uplink and uplink+downlink scatters."""
+    uplink, downlink = uplink_downlink_pair(duration=duration, seed=seed)
+    panels: Dict[str, ParetoScatter] = {}
+
+    downlink_results = {s: run_single_bottleneck(s, downlink, rtt=rtt,
+                                                 duration=duration)
+                        for s in schemes}
+    panels["downlink"] = _scatter_from_results("downlink", downlink_results)
+
+    uplink_results = {s: run_single_bottleneck(s, uplink, rtt=rtt,
+                                               duration=duration)
+                      for s in schemes}
+    panels["uplink"] = _scatter_from_results("uplink", uplink_results)
+
+    both_results = {s: run_single_bottleneck(s, uplink, rtt=rtt,
+                                             duration=duration,
+                                             extra_links=[downlink])
+                    for s in schemes}
+    panels["uplink+downlink"] = _scatter_from_results("uplink+downlink",
+                                                      both_results)
+    return panels
+
+
+def fig9_sweep(schemes: Sequence[str] = DEFAULT_SCHEMES,
+               duration: float = 30.0, rtt: float = 0.1, seed: int = 1,
+               traces: Optional[Mapping[str, CellularTrace]] = None
+               ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
+    """Reproduce Fig. 9 / Fig. 15: every scheme over the eight-trace set."""
+    traces = traces if traces is not None else synthetic_trace_set(duration=duration,
+                                                                   seed=seed)
+    return run_cellular_sweep(schemes, traces, rtt=rtt, duration=duration)
+
+
+def fig16_explicit(duration: float = 30.0, rtt: float = 0.1, seed: int = 1,
+                   traces: Optional[Mapping[str, CellularTrace]] = None
+                   ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
+    """Reproduce Fig. 16: ABC against the explicit-feedback schemes."""
+    return fig9_sweep(schemes=EXPLICIT_SCHEMES, duration=duration, rtt=rtt,
+                      seed=seed, traces=traces)
+
+
+def table1_summary(sweep: Mapping[str, Mapping[str, SingleBottleneckResult]]
+                   ) -> List[dict]:
+    """The §1 summary table, normalised to ABC."""
+    return normalized_table(sweep_averages(sweep), reference="abc")
+
+
+def fig18_rtt_sensitivity(schemes: Sequence[str] = ("abc", "cubic+codel",
+                                                    "cubic", "bbr", "copa",
+                                                    "vegas", "sprout", "xcpw"),
+                          rtts: Sequence[float] = (0.02, 0.05, 0.1, 0.2),
+                          duration: float = 30.0, seed: int = 5,
+                          trace: Optional[CellularTrace] = None
+                          ) -> Dict[float, Dict[str, SingleBottleneckResult]]:
+    """Reproduce Fig. 18: the same trace at several propagation RTTs."""
+    if trace is None:
+        trace = synthetic_trace_set(duration=duration, seed=seed,
+                                    names=["Verizon-LTE-1"])["Verizon-LTE-1"]
+    out: Dict[float, Dict[str, SingleBottleneckResult]] = {}
+    for rtt in rtts:
+        out[rtt] = {s: run_single_bottleneck(s, trace, rtt=rtt, duration=duration)
+                    for s in schemes}
+    return out

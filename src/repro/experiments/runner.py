@@ -1,0 +1,230 @@
+"""Shared experiment machinery: scheme registry and single-bottleneck runs.
+
+A *scheme* in the paper's sense is a sender-side congestion controller plus
+the queueing discipline running at the bottleneck (Cubic runs over a deep
+drop-tail buffer, "Cubic+Codel" runs over CoDel, ABC and the explicit schemes
+bring their own router).  :func:`make_scheme` builds both halves from the
+scheme label used in the figures, and :func:`run_single_bottleneck` runs the
+standard one-flow-one-bottleneck cellular experiment (§6.2: 100 ms minimum
+RTT, 250-packet buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.aqm import CoDelQdisc, DropTailQdisc, PIEQdisc
+from repro.cc import make_cc
+from repro.cc.base import CongestionControl
+from repro.cellular.trace import CellularTrace
+from repro.core.params import ABCParams, CELLULAR_DEFAULTS
+from repro.core.pk_abc import PKABCRouterQdisc
+from repro.core.router import ABCRouterQdisc
+from repro.explicit import (RCPRouterQdisc, VCPRouterQdisc, XCPRouterQdisc)
+from repro.simulator.link import CapacityModel
+from repro.simulator.qdisc import Qdisc
+from repro.simulator.scenario import Scenario
+
+#: Scheme labels in the order the paper's tables list them.
+SCHEME_NAMES: Tuple[str, ...] = (
+    "abc", "xcp", "xcpw", "cubic+codel", "cubic+pie", "copa", "sprout",
+    "vegas", "verus", "bbr", "pcc", "cubic", "rcp", "vcp",
+)
+
+#: Subset of schemes that are explicit-feedback protocols (Fig. 16).
+EXPLICIT_SCHEMES: Tuple[str, ...] = ("abc", "xcp", "xcpw", "rcp", "vcp")
+
+
+@dataclass
+class SchemeSpec:
+    """A sender factory plus a bottleneck-qdisc factory."""
+
+    name: str
+    make_sender: Callable[[], CongestionControl]
+    make_qdisc: Callable[[int], Qdisc]
+
+
+def make_scheme(name: str, buffer_packets: int = 250,
+                abc_params: Optional[ABCParams] = None,
+                seed: int = 0) -> SchemeSpec:
+    """Build the sender+qdisc pair for a paper scheme label."""
+    key = name.lower()
+    params = abc_params if abc_params is not None else CELLULAR_DEFAULTS
+
+    table: Dict[str, Tuple[Callable[[], CongestionControl], Callable[[int], Qdisc]]] = {
+        "abc": (lambda: make_cc("abc", params=params),
+                lambda b: ABCRouterQdisc(params=params, buffer_packets=b)),
+        "pk-abc": (lambda: make_cc("abc", params=params),
+                   lambda b: PKABCRouterQdisc(params=params, buffer_packets=b)),
+        "abc-enqueue": (lambda: make_cc("abc", params=params),
+                        lambda b: ABCRouterQdisc(params=params, buffer_packets=b,
+                                                 feedback_basis="enqueue")),
+        "cubic": (lambda: make_cc("cubic"),
+                  lambda b: DropTailQdisc(buffer_packets=b)),
+        "cubic+codel": (lambda: make_cc("cubic"),
+                        lambda b: CoDelQdisc(buffer_packets=b)),
+        "cubic+pie": (lambda: make_cc("cubic"),
+                      lambda b: PIEQdisc(buffer_packets=b, seed=seed)),
+        "newreno": (lambda: make_cc("newreno"),
+                    lambda b: DropTailQdisc(buffer_packets=b)),
+        "vegas": (lambda: make_cc("vegas"),
+                  lambda b: DropTailQdisc(buffer_packets=b)),
+        "copa": (lambda: make_cc("copa"),
+                 lambda b: DropTailQdisc(buffer_packets=b)),
+        "bbr": (lambda: make_cc("bbr"),
+                lambda b: DropTailQdisc(buffer_packets=b)),
+        "pcc": (lambda: make_cc("pcc"),
+                lambda b: DropTailQdisc(buffer_packets=b)),
+        "sprout": (lambda: make_cc("sprout"),
+                   lambda b: DropTailQdisc(buffer_packets=b)),
+        "verus": (lambda: make_cc("verus"),
+                  lambda b: DropTailQdisc(buffer_packets=b)),
+        "xcp": (lambda: make_cc("xcp"),
+                lambda b: XCPRouterQdisc(buffer_packets=b)),
+        "xcpw": (lambda: make_cc("xcp"),
+                 lambda b: XCPRouterQdisc(buffer_packets=b, wireless=True)),
+        "rcp": (lambda: make_cc("rcp"),
+                lambda b: RCPRouterQdisc(buffer_packets=b)),
+        "vcp": (lambda: make_cc("vcp"),
+                lambda b: VCPRouterQdisc(buffer_packets=b)),
+    }
+    if key not in table:
+        raise KeyError(f"unknown scheme {name!r}; available: {sorted(table)}")
+    sender_factory, qdisc_factory = table[key]
+    return SchemeSpec(name=key, make_sender=sender_factory,
+                      make_qdisc=lambda b=buffer_packets: qdisc_factory(b))
+
+
+@dataclass
+class SingleBottleneckResult:
+    """Summary of one scheme on one bottleneck."""
+
+    scheme: str
+    trace: str
+    throughput_bps: float
+    utilization: float
+    delay_p95_ms: float
+    delay_mean_ms: float
+    queuing_p95_ms: float
+    queuing_mean_ms: float
+    drops: int
+    extra: dict = field(default_factory=dict)
+
+
+LinkSpec = Union[CellularTrace, float, CapacityModel]
+
+
+def _add_bottleneck(scenario: Scenario, link_spec: LinkSpec, qdisc: Qdisc,
+                    name: str):
+    if isinstance(link_spec, CellularTrace):
+        return scenario.add_cellular_link(link_spec, qdisc=qdisc, name=name)
+    return scenario.add_rate_link(link_spec, qdisc=qdisc, name=name)
+
+
+def run_single_bottleneck(scheme: str, link_spec: LinkSpec,
+                          rtt: float = 0.1, duration: float = 30.0,
+                          buffer_packets: int = 250,
+                          abc_params: Optional[ABCParams] = None,
+                          warmup: float = 0.0,
+                          extra_links: Sequence[LinkSpec] = (),
+                          seed: int = 0) -> SingleBottleneckResult:
+    """One backlogged flow of ``scheme`` over one (or more) bottleneck links.
+
+    ``extra_links`` adds further bottlenecks in sequence on the data path
+    (each gets its own instance of the scheme's qdisc), which is how the
+    two-bottleneck uplink+downlink experiment of Fig. 8c is built.
+    """
+    spec = make_scheme(scheme, buffer_packets=buffer_packets,
+                       abc_params=abc_params, seed=seed)
+    scenario = Scenario()
+    links = [_add_bottleneck(scenario, link_spec, spec.make_qdisc(buffer_packets),
+                             name="bottleneck")]
+    for index, extra in enumerate(extra_links):
+        links.append(_add_bottleneck(scenario, extra,
+                                     spec.make_qdisc(buffer_packets),
+                                     name=f"bottleneck-{index + 1}"))
+    flow = scenario.add_flow(spec.make_sender(), links, rtt=rtt,
+                             label=spec.name)
+    result = scenario.run(duration)
+
+    trace_name = link_spec.name if isinstance(link_spec, CellularTrace) else str(link_spec)
+    stats = flow.stats
+    # The flow's utilisation is measured against the *last* bottleneck it
+    # traverses when there are several (the paper reports end-to-end
+    # utilisation of the constrained path); with a single link this is just
+    # that link.
+    per_link_utilization = [result.link_utilization(link, t0=warmup)
+                            for link in links]
+    min_util = min(per_link_utilization)
+    return SingleBottleneckResult(
+        scheme=spec.name,
+        trace=trace_name,
+        throughput_bps=result.flow_throughput_bps(flow, t0=warmup),
+        utilization=min_util,
+        delay_p95_ms=stats.delay_percentile(95) * 1000.0,
+        delay_mean_ms=stats.mean_delay() * 1000.0,
+        queuing_p95_ms=stats.delay_percentile(95, kind="queuing") * 1000.0,
+        queuing_mean_ms=stats.mean_delay(kind="queuing") * 1000.0,
+        drops=result.link_drops(links[0]),
+        extra={"flow": flow, "scenario": scenario, "links": links,
+               "per_link_utilization": per_link_utilization},
+    )
+
+
+def run_cellular_sweep(schemes: Sequence[str],
+                       traces: Mapping[str, CellularTrace],
+                       rtt: float = 0.1, duration: float = 30.0,
+                       buffer_packets: int = 250,
+                       abc_params: Optional[ABCParams] = None
+                       ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
+    """Run every scheme over every trace (the Fig. 9 / 15 / 16 sweep).
+
+    Returns ``results[scheme][trace_name]``.
+    """
+    results: Dict[str, Dict[str, SingleBottleneckResult]] = {}
+    for scheme in schemes:
+        results[scheme] = {}
+        for trace_name, trace in traces.items():
+            results[scheme][trace_name] = run_single_bottleneck(
+                scheme, trace, rtt=rtt, duration=duration,
+                buffer_packets=buffer_packets, abc_params=abc_params)
+    return results
+
+
+def sweep_averages(results: Mapping[str, Mapping[str, SingleBottleneckResult]]
+                   ) -> List[dict]:
+    """Average utilisation/delay per scheme across traces (Fig. 9's bars)."""
+    rows = []
+    for scheme, per_trace in results.items():
+        values = list(per_trace.values())
+        if not values:
+            continue
+        n = len(values)
+        rows.append({
+            "scheme": scheme,
+            "utilization": sum(v.utilization for v in values) / n,
+            "delay_p95_ms": sum(v.delay_p95_ms for v in values) / n,
+            "delay_mean_ms": sum(v.delay_mean_ms for v in values) / n,
+            "queuing_p95_ms": sum(v.queuing_p95_ms for v in values) / n,
+            "throughput_bps": sum(v.throughput_bps for v in values) / n,
+        })
+    return rows
+
+
+def normalized_table(rows: Sequence[Mapping], reference: str = "abc") -> List[dict]:
+    """The §1 summary table: throughput and p95 delay normalised to ABC."""
+    by_scheme = {row["scheme"]: row for row in rows}
+    if reference not in by_scheme:
+        raise KeyError(f"reference scheme {reference!r} not in rows")
+    ref = by_scheme[reference]
+    table = []
+    for row in rows:
+        table.append({
+            "scheme": row["scheme"],
+            "norm_throughput": (row["utilization"] / ref["utilization"]
+                                if ref["utilization"] else 0.0),
+            "norm_delay_p95": (row["delay_p95_ms"] / ref["delay_p95_ms"]
+                               if ref["delay_p95_ms"] else 0.0),
+        })
+    return table

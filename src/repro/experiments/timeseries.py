@@ -1,0 +1,97 @@
+"""Time-series experiments: Fig. 1 (motivation) and Fig. 17 (explicit schemes).
+
+Fig. 1 runs Cubic, Verus, Cubic+CoDel and ABC over the same emulated LTE trace
+and plots achieved throughput against link capacity plus the queuing delay
+over time.  Fig. 17 runs ABC, RCP and XCPw over a square-wave link whose
+capacity alternates between 12 and 24 Mbit/s every 500 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cellular.synthetic import lte_showcase_trace
+from repro.cellular.trace import CellularTrace
+from repro.experiments.runner import run_single_bottleneck
+from repro.simulator.link import SquareWaveRate
+
+
+@dataclass
+class TimeSeries:
+    """One scheme's throughput/queuing-delay time series plus the capacity."""
+
+    scheme: str
+    times: np.ndarray
+    throughput_bps: np.ndarray
+    queuing_delay_ms: np.ndarray
+    capacity_bps: Optional[np.ndarray] = None
+    utilization: float = 0.0
+    queuing_p95_ms: float = 0.0
+
+
+def _timeseries_from_result(result, bin_size: float) -> TimeSeries:
+    flow = result.extra["flow"]
+    times, tput = flow.stats.throughput_timeseries(bin_size=bin_size)
+    qt, qd = flow.stats.queuing_delay_timeseries(bin_size=bin_size)
+    n = min(len(times), len(qt))
+    return TimeSeries(
+        scheme=result.scheme,
+        times=times[:n],
+        throughput_bps=tput[:n],
+        queuing_delay_ms=qd[:n] * 1000.0,
+        utilization=result.utilization,
+        queuing_p95_ms=result.queuing_p95_ms,
+    )
+
+
+def fig1_timeseries(schemes: Sequence[str] = ("cubic", "verus", "cubic+codel", "abc"),
+                    duration: float = 30.0, rtt: float = 0.1,
+                    buffer_packets: int = 250, bin_size: float = 0.5,
+                    trace: Optional[CellularTrace] = None,
+                    seed: int = 7) -> Dict[str, TimeSeries]:
+    """Reproduce Fig. 1: each scheme over the same emulated LTE trace."""
+    trace = trace if trace is not None else lte_showcase_trace(duration=duration,
+                                                               seed=seed)
+    capacity_times, capacity = trace.rate_timeseries(bin_size=bin_size)
+    out: Dict[str, TimeSeries] = {}
+    for scheme in schemes:
+        result = run_single_bottleneck(scheme, trace, rtt=rtt,
+                                       duration=duration,
+                                       buffer_packets=buffer_packets)
+        series = _timeseries_from_result(result, bin_size)
+        n = min(len(series.times), len(capacity))
+        series.capacity_bps = capacity[:n]
+        out[scheme] = series
+    return out
+
+
+def fig17_square_wave(schemes: Sequence[str] = ("abc", "rcp", "xcpw"),
+                      low_mbps: float = 12.0, high_mbps: float = 24.0,
+                      half_period: float = 0.5, duration: float = 10.0,
+                      rtt: float = 0.1, bin_size: float = 0.25
+                      ) -> Dict[str, TimeSeries]:
+    """Reproduce Fig. 17: explicit schemes on a 12↔24 Mbit/s square wave."""
+    out: Dict[str, TimeSeries] = {}
+    for scheme in schemes:
+        capacity = SquareWaveRate(low_mbps * 1e6, high_mbps * 1e6, half_period)
+        result = run_single_bottleneck(scheme, capacity, rtt=rtt,
+                                       duration=duration)
+        out[scheme] = _timeseries_from_result(result, bin_size)
+    return out
+
+
+def summarize_timeseries(series: Dict[str, TimeSeries]) -> list[dict]:
+    """Per-scheme utilisation and p95 queuing delay rows for printing."""
+    rows = []
+    for scheme, ts in series.items():
+        rows.append({
+            "scheme": scheme,
+            "utilization": ts.utilization,
+            "queuing_p95_ms": ts.queuing_p95_ms,
+            "mean_throughput_mbps": float(np.mean(ts.throughput_bps)) / 1e6
+            if ts.throughput_bps.size else 0.0,
+        })
+    return rows

@@ -1,0 +1,21 @@
+"""Explicit congestion control baselines: XCP, XCPw, RCP and VCP.
+
+These are the schemes ABC is compared against in §6.3 and Appendix D.  Each
+consists of a router qdisc that computes multi-bit feedback and a sender that
+obeys it; the feedback travels in ``packet.meta`` — precisely the extra header
+state the paper points out makes these protocols hard to deploy, and that ABC
+replaces with a single re-purposed ECN bit.
+"""
+
+from repro.explicit.rcp import RCPRouterQdisc, RCPSender
+from repro.explicit.vcp import VCPRouterQdisc, VCPSender
+from repro.explicit.xcp import XCPRouterQdisc, XCPSender
+
+__all__ = [
+    "XCPRouterQdisc",
+    "XCPSender",
+    "RCPRouterQdisc",
+    "RCPSender",
+    "VCPRouterQdisc",
+    "VCPSender",
+]

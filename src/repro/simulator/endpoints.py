@@ -1,0 +1,439 @@
+"""Transport endpoints: the generic sender, the receiver and plain delay hops.
+
+The :class:`Sender` implements the mechanics every scheme shares — window
+gating, ACK clocking, optional pacing, RTT sampling, loss detection (gap-based,
+three-packet reordering threshold), retransmissions and RTO — and delegates all
+policy to a :class:`~repro.cc.base.CongestionControl` object.  This mirrors the
+paper's implementation strategy of pluggable TCP congestion control modules
+(§6.1) and lets ABC, Cubic, BBR, XCP, ... share one code path.
+
+The :class:`Receiver` acknowledges every data packet and echoes congestion
+feedback: the classic ECN signal as the ECE flag and the ABC accelerate/brake
+bit (the re-purposed NS bit of §5.1.2), plus any scheme-specific header fields
+(XCP/RCP/VCP) carried in ``packet.meta``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cc.base import CongestionControl
+from repro.simulator.engine import EventHandle, EventLoop
+from repro.simulator.estimators import RTTEstimator
+from repro.simulator.monitor import FlowStats
+from repro.simulator.packet import ACK_SIZE, MTU, Ack, AckFeedback, ECN, Packet
+from repro.simulator.traffic import BackloggedSource, TrafficSource
+
+#: A packet is declared lost when another packet *sent this much later* has
+#: already been acknowledged (RACK-style time-based loss detection).  Using
+#: transmission time rather than sequence numbers keeps retransmissions (which
+#: reuse their original sequence number) from being re-flagged forever.
+REORDER_WINDOW = 0.002
+
+#: Pacing-based senders poll at this interval when their rate is still zero.
+IDLE_PACING_POLL = 0.01
+
+
+def _forward(hop, packet) -> None:
+    """Hand ``packet`` to the next hop, whichever spelling it supports."""
+    if hasattr(hop, "send"):
+        hop.send(packet)
+    else:
+        hop.receive(packet)
+
+
+@dataclass
+class _SentInfo:
+    seq: int
+    size: int
+    sent_time: float
+    is_retransmission: bool
+
+
+class DelayHop:
+    """A pure propagation-delay segment (no queueing, no capacity limit)."""
+
+    def __init__(self, env: EventLoop, delay: float, dst=None, name: str = "delay"):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.env = env
+        self.delay = delay
+        self.dst = dst
+        self.name = name
+
+    def connect(self, dst) -> None:
+        self.dst = dst
+
+    def receive(self, packet) -> None:
+        if self.dst is None:
+            return
+        self.env.schedule(self.delay, self.dst.receive, packet)
+
+    # Links use .send(); keep both spellings so hops are interchangeable.
+    send = receive
+
+
+class Sender:
+    """A window- and/or rate-based transport sender.
+
+    Parameters
+    ----------
+    env:
+        Shared event loop.
+    flow_id:
+        Unique flow identifier stamped on every packet.
+    cc:
+        The congestion-control policy object.
+    egress:
+        First hop of the forward path (anything with ``receive``/``send``).
+    source:
+        Traffic source; defaults to a backlogged flow.
+    start_time:
+        Simulated time at which the flow starts.
+    mss:
+        Maximum segment size in bytes.
+    """
+
+    def __init__(self, env: EventLoop, flow_id: int, cc: CongestionControl,
+                 egress=None, source: Optional[TrafficSource] = None,
+                 start_time: float = 0.0, mss: int = MTU,
+                 name: Optional[str] = None):
+        self.env = env
+        self.flow_id = flow_id
+        self.cc = cc
+        self.egress = egress
+        self.source = source if source is not None else BackloggedSource()
+        self.start_time = start_time
+        self.mss = mss
+        self.name = name or f"flow-{flow_id}"
+
+        self.rtt = RTTEstimator()
+        self.next_seq = 0
+        self.outstanding: Dict[int, _SentInfo] = {}
+        self.retransmit_queue: deque[_SentInfo] = deque()
+        self.highest_acked = -1
+        self._recovery_end_seq = -1
+        self._latest_acked_sent_time = -1.0
+
+        self.bytes_sent = 0
+        self.bytes_acked = 0
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.loss_events = 0
+        self.timeouts = 0
+        self.acks_received = 0
+        self.completion_time: Optional[float] = None
+
+        self._started = False
+        self._rto_handle: Optional[EventHandle] = None
+        self._wake_handle: Optional[EventHandle] = None
+        self._pacing_active = False
+        self._rto_backoff = 1.0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Register the flow start with the event loop."""
+        self.env.schedule_at(self.start_time, self._begin)
+
+    def _begin(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.cc.needs_pacing:
+            self._start_pacing()
+        self._try_send()
+
+    def connect(self, egress) -> None:
+        self.egress = egress
+
+    # ------------------------------------------------------------ properties
+    @property
+    def in_flight(self) -> int:
+        return len(self.outstanding)
+
+    def _cwnd_packets(self) -> float:
+        return max(self.cc.cwnd(), self.cc.min_cwnd())
+
+    # ------------------------------------------------------------ sending
+    def _can_send_new_data(self, now: float) -> bool:
+        if self.in_flight + 1 > self._cwnd_packets():
+            return False
+        return self.source.bytes_available(now) >= 1.0
+
+    def _next_payload_size(self, now: float) -> int:
+        available = self.source.bytes_available(now)
+        if math.isinf(available):
+            return self.mss
+        return int(min(self.mss, max(available, 0)))
+
+    def _try_send(self) -> None:
+        """Send as much as the window, the pacer and the application allow."""
+        if not self._started:
+            return
+        now = self.env.now
+        if self.cc.needs_pacing:
+            # The pacing loop is the only thing allowed to emit new packets,
+            # but retransmissions are sent immediately.
+            self._flush_retransmissions(now)
+            return
+        sent_any = True
+        while sent_any:
+            sent_any = False
+            if self.retransmit_queue and self.in_flight + 1 <= self._cwnd_packets():
+                self._send_retransmission(now)
+                sent_any = True
+                continue
+            if self._can_send_new_data(now):
+                self._send_new_packet(now)
+                sent_any = True
+        self._maybe_schedule_data_wakeup(now)
+        self._check_completion(now)
+
+    def _flush_retransmissions(self, now: float) -> None:
+        while self.retransmit_queue and self.in_flight + 1 <= self._cwnd_packets():
+            self._send_retransmission(now)
+
+    def _maybe_schedule_data_wakeup(self, now: float) -> None:
+        """Application-limited flows: wake up when more data arrives."""
+        if self.source.bytes_available(now) >= 1.0:
+            return
+        next_time = self.source.next_data_time(now)
+        if next_time is None:
+            return
+        if self._wake_handle is not None and not self._wake_handle.cancelled:
+            return
+        delay = max(next_time - now, 1e-6)
+        self._wake_handle = self.env.schedule(delay, self._data_wakeup)
+
+    def _data_wakeup(self) -> None:
+        self._wake_handle = None
+        self._try_send()
+
+    def _send_new_packet(self, now: float) -> None:
+        size = self._next_payload_size(now)
+        if size <= 0:
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        self.source.consume(size, now)
+        self._transmit(seq, size, now, is_retransmission=False)
+
+    def _send_retransmission(self, now: float) -> None:
+        info = self.retransmit_queue.popleft()
+        self.retransmissions += 1
+        self._transmit(info.seq, info.size, now, is_retransmission=True)
+
+    def _transmit(self, seq: int, size: int, now: float, is_retransmission: bool) -> None:
+        ecn = ECN.ACCEL if self.cc.uses_abc else ECN.NOT_ECT
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            size=size,
+            ecn=ecn,
+            sent_time=now,
+            is_retransmission=is_retransmission,
+            abc_capable=self.cc.uses_abc,
+            meta=self.cc.packet_meta(now),
+        )
+        self.outstanding[seq] = _SentInfo(seq=seq, size=size, sent_time=now,
+                                          is_retransmission=is_retransmission)
+        self.bytes_sent += size
+        self.packets_sent += 1
+        self.cc.on_packet_sent(now, seq, size, self.in_flight)
+        if self.egress is not None:
+            _forward(self.egress, packet)
+        self._arm_rto(now)
+
+    # ------------------------------------------------------------ pacing
+    def _start_pacing(self) -> None:
+        if self._pacing_active:
+            return
+        self._pacing_active = True
+        self.env.schedule(0.0, self._pace_tick)
+
+    def _pace_tick(self) -> None:
+        now = self.env.now
+        rate = self.cc.pacing_rate() or 0.0
+        sent = False
+        if rate > 0:
+            if self.retransmit_queue and self.in_flight + 1 <= self._cwnd_packets():
+                self._send_retransmission(now)
+                sent = True
+            elif self._can_send_new_data(now):
+                self._send_new_packet(now)
+                sent = True
+        if rate > 0:
+            interval = self.mss * 8.0 / rate
+        else:
+            interval = IDLE_PACING_POLL
+        if not sent and rate > 0:
+            # Window- or application-limited: poll again shortly so we react
+            # quickly once the constraint clears.
+            interval = min(interval, IDLE_PACING_POLL)
+        self.env.schedule(interval, self._pace_tick)
+        self._check_completion(now)
+
+    # ------------------------------------------------------------ receiving
+    def receive(self, packet) -> None:
+        """Entry point for packets arriving from the reverse path (ACKs)."""
+        if isinstance(packet, Ack):
+            self._handle_ack(packet)
+
+    def _handle_ack(self, ack: Ack) -> None:
+        now = self.env.now
+        self.acks_received += 1
+        info = self.outstanding.pop(ack.seq, None)
+        if info is None:
+            # ACK for a packet we already retired (spurious retransmission or
+            # a duplicate) — nothing to update.
+            return
+        rtt_sample = None
+        if not info.is_retransmission:
+            rtt_sample = now - info.sent_time
+            self.rtt.update(rtt_sample)
+            # Fresh feedback from the network: clear any RTO backoff.
+            self._rto_backoff = 1.0
+        self.bytes_acked += info.size
+        self.highest_acked = max(self.highest_acked, ack.seq)
+        self._latest_acked_sent_time = max(self._latest_acked_sent_time,
+                                           info.sent_time)
+
+        self._detect_losses(now)
+
+        feedback = AckFeedback(
+            now=now,
+            rtt=rtt_sample,
+            bytes_acked=info.size,
+            accel=ack.accel,
+            ece=ack.ece,
+            packets_in_flight=self.in_flight,
+            is_retransmission=info.is_retransmission,
+            sent_time=info.sent_time,
+            meta=ack.meta,
+        )
+        self.cc.on_ack(feedback)
+
+        if self.outstanding:
+            self._arm_rto(now)
+        elif self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+        self._try_send()
+
+    def _detect_losses(self, now: float) -> None:
+        """RACK-style loss detection: an outstanding packet is lost when some
+        packet transmitted ``REORDER_WINDOW`` later has already been ACKed."""
+        if not self.outstanding:
+            return
+        threshold_time = self._latest_acked_sent_time - REORDER_WINDOW
+        lost = [seq for seq, info in self.outstanding.items()
+                if info.sent_time < threshold_time]
+        if not lost:
+            return
+        newest_lost = max(lost)
+        for seq in lost:
+            info = self.outstanding.pop(seq)
+            self.retransmit_queue.append(info)
+        if newest_lost > self._recovery_end_seq:
+            self.loss_events += 1
+            self._recovery_end_seq = self.next_seq
+            self.cc.on_loss(now)
+
+    # ------------------------------------------------------------ timers
+    def _arm_rto(self, now: float) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+        self._rto_handle = self.env.schedule(self.rtt.rto * self._rto_backoff,
+                                             self._on_rto)
+
+    def _on_rto(self) -> None:
+        now = self.env.now
+        self._rto_handle = None
+        if not self.outstanding:
+            return
+        self.timeouts += 1
+        self._recovery_end_seq = self.next_seq
+        for seq in sorted(self.outstanding):
+            self.retransmit_queue.append(self.outstanding.pop(seq))
+        self.cc.on_timeout(now)
+        # Exponential backoff (Karn): successive timeouts without any fresh
+        # ACK double the timer, which prevents spurious-RTO livelock behind
+        # deep queues.
+        self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+        self._arm_rto(now)
+        self._try_send()
+
+    # ------------------------------------------------------------ completion
+    def _check_completion(self, now: float) -> None:
+        if self.completion_time is not None:
+            return
+        if (self.source.finished(now) and not self.outstanding
+                and not self.retransmit_queue):
+            self.completion_time = now
+
+
+class Receiver:
+    """Acknowledges data packets and echoes congestion feedback to senders."""
+
+    def __init__(self, env: EventLoop, egress=None, name: str = "receiver",
+                 ack_size: int = ACK_SIZE):
+        self.env = env
+        self.egress = egress
+        self.name = name
+        self.ack_size = ack_size
+        self.flow_stats: Dict[int, FlowStats] = {}
+        self.packets_received = 0
+        self._next_expected: Dict[int, int] = {}
+
+    def connect(self, egress) -> None:
+        self.egress = egress
+
+    def stats_for(self, flow_id: int) -> FlowStats:
+        if flow_id not in self.flow_stats:
+            self.flow_stats[flow_id] = FlowStats(flow_id)
+        return self.flow_stats[flow_id]
+
+    def receive(self, packet) -> None:
+        if isinstance(packet, Ack):
+            return
+        now = self.env.now
+        self.packets_received += 1
+        self.stats_for(packet.flow_id).record(packet, now)
+
+        expected = self._next_expected.get(packet.flow_id, 0)
+        if packet.seq >= expected:
+            self._next_expected[packet.flow_id] = packet.seq + 1
+
+        ack = Ack(
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            size=self.ack_size,
+            accel=(packet.ecn == ECN.ACCEL),
+            ece=(packet.ecn == ECN.CE),
+            data_sent_time=packet.sent_time,
+            data_size=packet.size,
+            ack_sent_time=now,
+            cumulative_ack=self._next_expected[packet.flow_id],
+            sent_time=now,
+            meta=dict(packet.meta),
+        )
+        if self.egress is not None:
+            _forward(self.egress, ack)
+
+
+class Sink:
+    """A node that silently absorbs whatever it receives (for cross traffic
+    whose ACK path is irrelevant to the experiment)."""
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+
+    def receive(self, packet) -> None:
+        self.packets += 1
+        self.bytes += getattr(packet, "size", 0)
+
+    send = receive

@@ -1,0 +1,359 @@
+"""Link models: constant-rate, time-varying-rate and trace-driven links.
+
+A link owns a qdisc, pulls packets from it when it has transmission capacity
+and delivers them to the downstream node after a propagation delay.  Three
+capacity models cover every experiment in the paper:
+
+* :class:`ConstantRate` — wired links (e.g. the 12 Mbit/s drop-tail link in
+  Fig. 11, the 24 Mbit/s fairness link in Fig. 3).
+* :class:`SteppedRate` / :class:`SquareWaveRate` — step patterns used in
+  Fig. 6 and Fig. 17.
+* :class:`OpportunityLink` — Mahimahi-style trace-driven delivery
+  opportunities for the cellular experiments (Figs. 1, 8, 9, 15, 16, 18).
+
+The WiFi MAC link lives in :mod:`repro.wifi.mac`; it subclasses :class:`Link`
+and adds A-MPDU batching and block ACKs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Iterable, Optional, Protocol, Sequence
+
+from repro.simulator.engine import EventLoop
+from repro.simulator.packet import MTU, Packet
+from repro.simulator.qdisc import FifoQdisc, Qdisc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.monitor import LinkMonitor
+
+
+class Node(Protocol):
+    """Anything that can receive packets from a link."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+# --------------------------------------------------------------------------
+# Capacity models for rate-based links
+# --------------------------------------------------------------------------
+class CapacityModel:
+    """Maps simulated time to an instantaneous link rate in bits per second."""
+
+    def rate_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def bits_between(self, t0: float, t1: float) -> float:
+        """Total bit-capacity offered by the link over ``[t0, t1]``.
+
+        The default implementation integrates :meth:`rate_at` with a 1 ms
+        step; subclasses with closed forms override it.
+        """
+        if t1 <= t0:
+            return 0.0
+        step = 0.001
+        total = 0.0
+        t = t0
+        while t < t1:
+            dt = min(step, t1 - t)
+            total += self.rate_at(t) * dt
+            t += dt
+        return total
+
+
+class ConstantRate(CapacityModel):
+    """Fixed-rate link."""
+
+    def __init__(self, rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.rate_bps = rate_bps
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_bps
+
+    def bits_between(self, t0: float, t1: float) -> float:
+        return max(t1 - t0, 0.0) * self.rate_bps
+
+
+class SteppedRate(CapacityModel):
+    """Piecewise-constant rate defined by ``(start_time, rate_bps)`` steps.
+
+    The rate before the first step is the first step's rate.  Steps must be
+    sorted by time.
+    """
+
+    def __init__(self, steps: Sequence[tuple[float, float]]):
+        if not steps:
+            raise ValueError("steps must not be empty")
+        times = [t for t, _ in steps]
+        if any(t1 < t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("steps must be sorted by time")
+        if any(rate <= 0 for _, rate in steps):
+            raise ValueError("rates must be positive")
+        self._times = list(times)
+        self._rates = [r for _, r in steps]
+
+    def rate_at(self, t: float) -> float:
+        idx = bisect.bisect_right(self._times, t) - 1
+        if idx < 0:
+            idx = 0
+        return self._rates[idx]
+
+    def bits_between(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        boundaries = [t0] + [t for t in self._times if t0 < t < t1] + [t1]
+        for a, b in zip(boundaries, boundaries[1:]):
+            total += self.rate_at(a) * (b - a)
+        return total
+
+
+class SquareWaveRate(CapacityModel):
+    """Rate alternating between ``low`` and ``high`` every ``half_period`` s.
+
+    Fig. 17 uses 12 ↔ 24 Mbit/s with a 500 ms half-period; the wave starts at
+    ``high`` unless ``start_low`` is set.
+    """
+
+    def __init__(self, low_bps: float, high_bps: float, half_period: float,
+                 start_low: bool = False):
+        if low_bps <= 0 or high_bps <= 0 or half_period <= 0:
+            raise ValueError("rates and half_period must be positive")
+        self.low_bps = low_bps
+        self.high_bps = high_bps
+        self.half_period = half_period
+        self.start_low = start_low
+
+    def rate_at(self, t: float) -> float:
+        phase = int(t / self.half_period) % 2
+        first, second = ((self.low_bps, self.high_bps) if self.start_low
+                         else (self.high_bps, self.low_bps))
+        return first if phase == 0 else second
+
+
+# --------------------------------------------------------------------------
+# Link base class
+# --------------------------------------------------------------------------
+class Link:
+    """Base class: owns a qdisc, delivers packets downstream.
+
+    Subclasses decide *when* packets leave the queue; this class handles the
+    shared plumbing (enqueueing, drop accounting, propagation delay, delivery
+    and monitoring hooks).
+    """
+
+    def __init__(self, env: EventLoop, qdisc: Optional[Qdisc] = None,
+                 prop_delay: float = 0.0, name: str = "link",
+                 dst: Optional[Node] = None):
+        self.env = env
+        self.qdisc = qdisc if qdisc is not None else FifoQdisc()
+        self.qdisc.attach(self)
+        self.prop_delay = prop_delay
+        self.name = name
+        self.dst = dst
+        self.monitor: Optional["LinkMonitor"] = None
+        self.delivered_bytes = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+
+    # ------------------------------------------------------------ wiring
+    def connect(self, dst: Node) -> None:
+        self.dst = dst
+
+    def set_monitor(self, monitor: "LinkMonitor") -> None:
+        self.monitor = monitor
+
+    # ------------------------------------------------------------ data path
+    def send(self, packet: Packet) -> None:
+        """Called by the upstream node to hand a packet to this link."""
+        now = self.env.now
+        packet.hop_count += 1
+        accepted = self.qdisc.enqueue(packet, now)
+        if not accepted:
+            self.dropped_packets += 1
+            if self.monitor is not None:
+                self.monitor.record_drop(now, packet)
+            return
+        self._on_enqueue(now)
+
+    # Links can be chained directly (link.dst = another link); the downstream
+    # link's ``receive`` is simply its ``send``.
+    def receive(self, packet: Packet) -> None:
+        self.send(packet)
+
+    def _on_enqueue(self, now: float) -> None:
+        """Hook: subclasses kick their transmission machinery here."""
+        raise NotImplementedError
+
+    def _deliver(self, packet: Packet) -> None:
+        """Ship a dequeued packet to the downstream node after propagation."""
+        now = self.env.now
+        self.delivered_bytes += packet.size
+        self.delivered_packets += 1
+        if self.monitor is not None:
+            self.monitor.record_departure(now, packet)
+        if self.dst is None:
+            return
+        if self.prop_delay > 0:
+            self.env.schedule(self.prop_delay, self.dst.receive, packet)
+        else:
+            self.env.schedule(0.0, self.dst.receive, packet)
+
+    # ------------------------------------------------------------ capacity
+    def capacity_bps(self, now: float) -> float:
+        """Instantaneous link capacity µ(t) exposed to explicit routers.
+
+        The cellular experiments in the paper assume the router knows the
+        underlying link capacity (§6.2); trace-driven links therefore report
+        the smoothed opportunity rate, and rate-based links report the model
+        rate.
+        """
+        raise NotImplementedError
+
+    def offered_bits(self, t0: float, t1: float) -> float:
+        """Total bit-capacity the link offered over ``[t0, t1]``.
+
+        Used as the utilisation denominator.
+        """
+        raise NotImplementedError
+
+
+class RateLink(Link):
+    """A link whose transmissions are paced by a :class:`CapacityModel`.
+
+    The transmission time of a packet is ``size*8 / rate_at(start)``; for the
+    step patterns in the paper (which change at most every 500 ms) this is an
+    excellent approximation.
+    """
+
+    def __init__(self, env: EventLoop, capacity: CapacityModel,
+                 qdisc: Optional[Qdisc] = None, prop_delay: float = 0.0,
+                 name: str = "rate-link", dst: Optional[Node] = None):
+        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name, dst=dst)
+        self.capacity = capacity
+        self._busy = False
+
+    def _on_enqueue(self, now: float) -> None:
+        if not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        now = self.env.now
+        packet = self.qdisc.dequeue(now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        rate = self.capacity.rate_at(now)
+        tx_time = packet.size * 8.0 / rate
+        self.env.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._deliver(packet)
+        self._start_transmission()
+
+    def capacity_bps(self, now: float) -> float:
+        return self.capacity.rate_at(now)
+
+    def offered_bits(self, t0: float, t1: float) -> float:
+        return self.capacity.bits_between(t0, t1)
+
+
+class OpportunityLink(Link):
+    """Mahimahi-style trace-driven link.
+
+    The trace is a sequence of delivery-opportunity timestamps (seconds).
+    Each opportunity can carry up to :data:`~repro.simulator.packet.MTU`
+    bytes; opportunities that find the queue empty are wasted, exactly as in
+    Mahimahi.  The trace is replayed cyclically when the simulation outlives
+    it.
+    """
+
+    def __init__(self, env: EventLoop, opportunity_times: Iterable[float],
+                 qdisc: Optional[Qdisc] = None, prop_delay: float = 0.0,
+                 name: str = "cell-link", dst: Optional[Node] = None,
+                 bytes_per_opportunity: int = MTU,
+                 capacity_window: float = 0.1):
+        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name, dst=dst)
+        times = sorted(float(t) for t in opportunity_times)
+        if not times:
+            raise ValueError("opportunity_times must not be empty")
+        if times[0] < 0:
+            raise ValueError("opportunity times must be non-negative")
+        self._times = times
+        self._trace_span = max(times[-1], 1e-3)
+        self.bytes_per_opportunity = bytes_per_opportunity
+        self.capacity_window = capacity_window
+        self._next_index = 0
+        self._cycle = 0
+        self._started = False
+
+    # ------------------------------------------------------------ trace math
+    def _opportunity_time(self, index: int) -> float:
+        """Absolute time of the index-th opportunity (cyclic replay)."""
+        cycle, offset = divmod(index, len(self._times))
+        return cycle * self._trace_span + self._times[offset]
+
+    def _index_at(self, t: float) -> int:
+        """Number of opportunities with timestamp strictly before ``t``."""
+        if t <= 0:
+            return 0
+        cycle, within = divmod(t, self._trace_span)
+        return int(cycle) * len(self._times) + bisect.bisect_left(self._times, within)
+
+    def start(self) -> None:
+        """Begin replaying the trace.  Called by the scenario at time 0."""
+        if self._started:
+            return
+        self._started = True
+        self._schedule_next_opportunity()
+
+    def _schedule_next_opportunity(self) -> None:
+        when = self._opportunity_time(self._next_index)
+        self.env.schedule_at(when, self._fire_opportunity, self._next_index)
+        self._next_index += 1
+
+    def _fire_opportunity(self, index: int) -> None:
+        now = self.env.now
+        budget = self.bytes_per_opportunity
+        while budget > 0:
+            head = self.qdisc.peek()
+            if head is None or head.size > budget:
+                break
+            packet = self.qdisc.dequeue(now)
+            if packet is None:
+                break
+            budget -= packet.size
+            self._deliver(packet)
+        if self.monitor is not None:
+            self.monitor.record_opportunity(now, self.bytes_per_opportunity)
+        self._schedule_next_opportunity()
+
+    def _on_enqueue(self, now: float) -> None:
+        # Opportunities are clocked by the trace, not by arrivals.
+        if not self._started:
+            self.start()
+
+    # ------------------------------------------------------------ capacity
+    def capacity_bps(self, now: float) -> float:
+        """Opportunity rate over the trailing ``capacity_window`` seconds."""
+        return self.capacity_in_window(now - self.capacity_window, now)
+
+    def capacity_in_window(self, t0: float, t1: float) -> float:
+        """Average opportunity rate (bps) over ``[t0, t1]``."""
+        t0 = max(t0, 0.0)
+        if t1 <= t0:
+            return 0.0
+        count = self._index_at(t1) - self._index_at(t0)
+        return count * self.bytes_per_opportunity * 8.0 / (t1 - t0)
+
+    def future_capacity_bps(self, now: float, horizon: float) -> float:
+        """Capacity over ``[now, now+horizon]`` — used by PK-ABC (§6.6)."""
+        return self.capacity_in_window(now, now + horizon)
+
+    def offered_bits(self, t0: float, t1: float) -> float:
+        count = self._index_at(t1) - self._index_at(t0)
+        return count * self.bytes_per_opportunity * 8.0

@@ -1,0 +1,215 @@
+"""Measurement hooks: per-flow delivery statistics and per-link monitors.
+
+The paper reports three families of metrics:
+
+* **throughput / utilisation** — delivered bits divided by elapsed time, or by
+  the capacity the link offered over the same interval (Figs. 8, 9, 16, 18);
+* **per-packet delay** — the one-way delay of each delivered packet, from
+  which mean and 95th-percentile values are computed (Figs. 8, 9, 15);
+* **queuing delay** — the time packets spend in bottleneck queues, plotted as
+  time series (Figs. 1, 2, 6, 7, 11, 13, 17).
+
+:class:`FlowStats` captures the first two at the receiver;
+:class:`LinkMonitor` captures link-side time series and the utilisation
+denominator.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.packet import Packet
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered data packet as observed by the receiver."""
+
+    recv_time: float
+    sent_time: float
+    size: int
+    queuing_delay: float
+    flow_id: int
+
+    @property
+    def one_way_delay(self) -> float:
+        return max(self.recv_time - self.sent_time, 0.0)
+
+
+class FlowStats:
+    """Per-flow delivery statistics collected at the receiver."""
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self.records: List[DeliveryRecord] = []
+        self.bytes_received = 0
+        self.first_recv_time: Optional[float] = None
+        self.last_recv_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+
+    def record(self, packet: Packet, now: float) -> None:
+        rec = DeliveryRecord(
+            recv_time=now,
+            sent_time=packet.sent_time,
+            size=packet.size,
+            queuing_delay=packet.total_queuing_delay,
+            flow_id=self.flow_id,
+        )
+        self.records.append(rec)
+        self.bytes_received += packet.size
+        if self.first_recv_time is None:
+            self.first_recv_time = now
+        self.last_recv_time = now
+
+    # ------------------------------------------------------------ metrics
+    def throughput_bps(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        """Average goodput over ``[t0, t1]`` in bits per second."""
+        if t1 is None:
+            t1 = self.last_recv_time if self.last_recv_time is not None else t0
+        if t1 <= t0:
+            return 0.0
+        total = sum(r.size for r in self.records if t0 <= r.recv_time <= t1)
+        return total * 8.0 / (t1 - t0)
+
+    def delays(self, kind: str = "one_way") -> np.ndarray:
+        """Array of per-packet delays in seconds.
+
+        ``kind`` is ``"one_way"`` (propagation + queuing, the paper's
+        per-packet delay) or ``"queuing"`` (bottleneck queuing only).
+        """
+        if kind == "one_way":
+            return np.array([r.one_way_delay for r in self.records])
+        if kind == "queuing":
+            return np.array([r.queuing_delay for r in self.records])
+        raise ValueError(f"unknown delay kind: {kind!r}")
+
+    def delay_percentile(self, pct: float, kind: str = "one_way") -> float:
+        values = self.delays(kind)
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, pct))
+
+    def mean_delay(self, kind: str = "one_way") -> float:
+        values = self.delays(kind)
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(values))
+
+    def throughput_timeseries(self, bin_size: float = 0.5,
+                              t0: float = 0.0,
+                              t1: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Binned throughput time series ``(bin_centers, rates_bps)``."""
+        if not self.records:
+            return np.array([]), np.array([])
+        if t1 is None:
+            t1 = self.records[-1].recv_time
+        n_bins = max(int(math.ceil((t1 - t0) / bin_size)), 1)
+        edges = t0 + np.arange(n_bins + 1) * bin_size
+        totals = np.zeros(n_bins)
+        for rec in self.records:
+            if rec.recv_time < t0 or rec.recv_time > t1:
+                continue
+            idx = min(int((rec.recv_time - t0) / bin_size), n_bins - 1)
+            totals[idx] += rec.size
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, totals * 8.0 / bin_size
+
+    def queuing_delay_timeseries(self, bin_size: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
+        """Binned mean queuing delay time series ``(bin_centers, delay_s)``."""
+        if not self.records:
+            return np.array([]), np.array([])
+        t_end = self.records[-1].recv_time
+        n_bins = max(int(math.ceil(t_end / bin_size)), 1)
+        sums = np.zeros(n_bins)
+        counts = np.zeros(n_bins)
+        for rec in self.records:
+            idx = min(int(rec.recv_time / bin_size), n_bins - 1)
+            sums[idx] += rec.queuing_delay
+            counts[idx] += 1
+        centers = (np.arange(n_bins) + 0.5) * bin_size
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        return centers, means
+
+
+class LinkMonitor:
+    """Records departures, drops, queue occupancy and offered capacity."""
+
+    def __init__(self, name: str = "link", sample_interval: float = 0.05):
+        self.name = name
+        self.sample_interval = sample_interval
+        self.departure_times: List[float] = []
+        self.departure_bytes: List[int] = []
+        self.drop_times: List[float] = []
+        self.opportunity_times: List[float] = []
+        self.opportunity_bytes = 0
+        self.queue_samples: List[tuple[float, int]] = []
+
+    # ------------------------------------------------------------ callbacks
+    def record_departure(self, now: float, packet: Packet) -> None:
+        self.departure_times.append(now)
+        self.departure_bytes.append(packet.size)
+
+    def record_drop(self, now: float, packet: Packet) -> None:
+        self.drop_times.append(now)
+
+    def record_opportunity(self, now: float, size_bytes: int) -> None:
+        self.opportunity_times.append(now)
+        self.opportunity_bytes += size_bytes
+
+    def record_queue(self, now: float, backlog_packets: int) -> None:
+        self.queue_samples.append((now, backlog_packets))
+
+    # ------------------------------------------------------------ metrics
+    def delivered_bytes(self, t0: float = 0.0, t1: float = math.inf) -> int:
+        lo = bisect.bisect_left(self.departure_times, t0)
+        hi = bisect.bisect_right(self.departure_times, t1)
+        return int(sum(self.departure_bytes[lo:hi]))
+
+    def throughput_bps(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self.delivered_bytes(t0, t1) * 8.0 / (t1 - t0)
+
+    def drops(self, t0: float = 0.0, t1: float = math.inf) -> int:
+        lo = bisect.bisect_left(self.drop_times, t0)
+        hi = bisect.bisect_right(self.drop_times, t1)
+        return hi - lo
+
+    def throughput_timeseries(self, bin_size: float = 0.5,
+                              t1: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        if not self.departure_times:
+            return np.array([]), np.array([])
+        if t1 is None:
+            t1 = self.departure_times[-1]
+        n_bins = max(int(math.ceil(t1 / bin_size)), 1)
+        totals = np.zeros(n_bins)
+        for t, size in zip(self.departure_times, self.departure_bytes):
+            if t > t1:
+                break
+            idx = min(int(t / bin_size), n_bins - 1)
+            totals[idx] += size
+        centers = (np.arange(n_bins) + 0.5) * bin_size
+        return centers, totals * 8.0 / bin_size
+
+
+@dataclass
+class SchemeResult:
+    """Summary row produced by the experiment runner for one scheme."""
+
+    scheme: str
+    throughput_bps: float
+    utilization: float
+    delay_p95_ms: float
+    delay_mean_ms: float
+    queuing_p95_ms: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> Sequence:
+        return (self.scheme, self.throughput_bps, self.utilization,
+                self.delay_p95_ms, self.delay_mean_ms)

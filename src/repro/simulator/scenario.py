@@ -1,0 +1,292 @@
+"""High-level scenario builder: wire senders, links and receivers together.
+
+Every experiment in the paper boils down to a handful of topologies: one or
+more flows sharing one bottleneck link, a two-bottleneck path (cellular uplink
+plus downlink, or wireless plus wired), and mixes of ABC and non-ABC flows on
+the same bottleneck.  :class:`Scenario` builds those topologies from simple
+ingredients and returns a :class:`ScenarioResult` exposing the metrics the
+paper reports (utilisation, per-packet delay percentiles, queuing-delay time
+series, per-flow throughput).
+
+Propagation delay is modelled with per-flow :class:`DelayHop` segments: half
+of the flow's minimum RTT is spread over the forward path (split evenly
+between the segments before, between and after the bottleneck links) and half
+is spent on the ACK return path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cc.base import CongestionControl
+from repro.cellular.trace import CellularTrace
+from repro.simulator.endpoints import DelayHop, Receiver, Sender
+from repro.simulator.engine import EventLoop
+from repro.simulator.link import (CapacityModel, ConstantRate, Link,
+                                  OpportunityLink, RateLink)
+from repro.simulator.monitor import FlowStats, LinkMonitor
+from repro.simulator.packet import MTU
+from repro.simulator.qdisc import FifoQdisc, Qdisc
+from repro.simulator.traffic import TrafficSource
+
+
+class FlowDemux:
+    """Routes packets leaving a shared link to the flow's next hop."""
+
+    def __init__(self, name: str = "demux"):
+        self.name = name
+        self.routes: Dict[int, object] = {}
+        self.default_route: Optional[object] = None
+
+    def set_route(self, flow_id: int, next_hop) -> None:
+        self.routes[flow_id] = next_hop
+
+    def receive(self, packet) -> None:
+        hop = self.routes.get(packet.flow_id, self.default_route)
+        if hop is None:
+            return
+        if hasattr(hop, "send"):
+            hop.send(packet)
+        else:
+            hop.receive(packet)
+
+
+@dataclass
+class Flow:
+    """Handle returned by :meth:`Scenario.add_flow`."""
+
+    flow_id: int
+    sender: Sender
+    receiver: Receiver
+    links: List[Link] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def cc(self) -> CongestionControl:
+        return self.sender.cc
+
+    @property
+    def stats(self) -> FlowStats:
+        return self.receiver.stats_for(self.flow_id)
+
+
+class Scenario:
+    """Builds and runs one simulation scenario."""
+
+    def __init__(self, queue_sample_interval: float = 0.05):
+        self.env = EventLoop()
+        self.links: List[Link] = []
+        self.flows: List[Flow] = []
+        self.monitors: Dict[str, LinkMonitor] = {}
+        self._demux: Dict[int, FlowDemux] = {}
+        self._next_flow_id = 0
+        self.queue_sample_interval = queue_sample_interval
+        self.duration: float = 0.0
+
+    # ------------------------------------------------------------ links
+    def _register_link(self, link: Link, name: str) -> Link:
+        monitor = LinkMonitor(name=name)
+        link.set_monitor(monitor)
+        demux = FlowDemux(name=f"{name}-demux")
+        link.connect(demux)
+        self._demux[id(link)] = demux
+        self.monitors[name] = monitor
+        self.links.append(link)
+        return link
+
+    def add_cellular_link(self, trace: Union[CellularTrace, Sequence[float]],
+                          qdisc: Optional[Qdisc] = None,
+                          name: Optional[str] = None) -> OpportunityLink:
+        """Add a Mahimahi-style trace-driven bottleneck link."""
+        if isinstance(trace, CellularTrace):
+            times = trace.opportunity_times
+            link_name = name or trace.name
+        else:
+            times = list(trace)
+            link_name = name or f"cell-{len(self.links)}"
+        link = OpportunityLink(self.env, times, qdisc=qdisc, name=link_name)
+        return self._register_link(link, link_name)
+
+    def add_rate_link(self, capacity: Union[float, CapacityModel],
+                      qdisc: Optional[Qdisc] = None,
+                      name: Optional[str] = None) -> RateLink:
+        """Add a rate-based link (constant or time-varying capacity)."""
+        model = ConstantRate(capacity) if isinstance(capacity, (int, float)) else capacity
+        link_name = name or f"link-{len(self.links)}"
+        link = RateLink(self.env, model, qdisc=qdisc, name=link_name)
+        return self._register_link(link, link_name)
+
+    def add_custom_link(self, link: Link, name: Optional[str] = None) -> Link:
+        """Register an externally constructed link (e.g. a WiFi MAC link)."""
+        link_name = name or link.name
+        return self._register_link(link, link_name)
+
+    def demux_for(self, link: Link) -> FlowDemux:
+        return self._demux[id(link)]
+
+    # ------------------------------------------------------------ flows
+    def add_flow(self, cc: CongestionControl, links: Sequence[Link],
+                 rtt: float = 0.1, start_time: float = 0.0,
+                 source: Optional[TrafficSource] = None,
+                 label: str = "", mss: int = MTU) -> Flow:
+        """Add a flow whose data path traverses ``links`` in order.
+
+        ``rtt`` is the flow's minimum round-trip time: half is spread across
+        the forward path, half is the ACK return path.
+        """
+        if not links:
+            raise ValueError("a flow must traverse at least one link")
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+
+        sender = Sender(self.env, flow_id, cc, source=source,
+                        start_time=start_time, mss=mss,
+                        name=label or f"flow-{flow_id}")
+        receiver = Receiver(self.env, name=f"recv-{flow_id}")
+
+        forward_delay = rtt / 2.0
+        n_segments = len(links) + 1
+        segment_delay = forward_delay / n_segments
+
+        # Sender → first link.
+        first_hop = DelayHop(self.env, segment_delay, dst=links[0],
+                             name=f"fwd-{flow_id}-0")
+        sender.connect(first_hop)
+        # Link i → link i+1, final link → receiver.
+        for index, link in enumerate(links):
+            demux = self.demux_for(link)
+            if index + 1 < len(links):
+                next_dst = links[index + 1]
+            else:
+                next_dst = receiver
+            hop = DelayHop(self.env, segment_delay, dst=next_dst,
+                           name=f"fwd-{flow_id}-{index + 1}")
+            demux.set_route(flow_id, hop)
+        # Receiver → sender (ACK path).
+        ack_hop = DelayHop(self.env, rtt / 2.0, dst=sender, name=f"ack-{flow_id}")
+        receiver.connect(ack_hop)
+
+        flow = Flow(flow_id=flow_id, sender=sender, receiver=receiver,
+                    links=list(links), label=label or f"flow-{flow_id}")
+        self.flows.append(flow)
+        return flow
+
+    # ------------------------------------------------------------ running
+    def _sample_queues(self) -> None:
+        now = self.env.now
+        for link in self.links:
+            if link.monitor is not None:
+                link.monitor.record_queue(now, link.qdisc.backlog_packets)
+        if now + self.queue_sample_interval <= self.duration:
+            self.env.schedule(self.queue_sample_interval, self._sample_queues)
+
+    def run(self, duration: float) -> "ScenarioResult":
+        """Run the scenario for ``duration`` seconds and collect results."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.duration = duration
+        for link in self.links:
+            starter = getattr(link, "start", None)
+            if starter is not None:
+                starter()
+        for flow in self.flows:
+            flow.sender.start()
+        if self.queue_sample_interval > 0:
+            self.env.schedule(0.0, self._sample_queues)
+        self.env.run(until=duration)
+        return ScenarioResult(self)
+
+
+class ScenarioResult:
+    """Metrics view over a finished :class:`Scenario`."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.duration = scenario.duration
+
+    # ------------------------------------------------------------ flows
+    def flow(self, index_or_flow: Union[int, Flow]) -> Flow:
+        if isinstance(index_or_flow, Flow):
+            return index_or_flow
+        return self.scenario.flows[index_or_flow]
+
+    def flow_stats(self, flow: Union[int, Flow]) -> FlowStats:
+        return self.flow(flow).stats
+
+    def flow_throughput_bps(self, flow: Union[int, Flow],
+                            t0: float = 0.0, t1: Optional[float] = None) -> float:
+        t1 = self.duration if t1 is None else t1
+        return self.flow_stats(flow).throughput_bps(t0, t1)
+
+    def flow_delay_p95_ms(self, flow: Union[int, Flow],
+                          kind: str = "one_way") -> float:
+        return self.flow_stats(flow).delay_percentile(95, kind=kind) * 1000.0
+
+    def flow_delay_mean_ms(self, flow: Union[int, Flow],
+                           kind: str = "one_way") -> float:
+        return self.flow_stats(flow).mean_delay(kind=kind) * 1000.0
+
+    def _aggregate_delays(self, kind: str = "one_way"):
+        import numpy as np
+        samples = [flow.stats.delays(kind) for flow in self.scenario.flows]
+        samples = [s for s in samples if s.size]
+        if not samples:
+            return np.array([])
+        return np.concatenate(samples)
+
+    def aggregate_delay_percentile_ms(self, pct: float = 95.0,
+                                      kind: str = "one_way") -> float:
+        """Delay percentile over all packets of all flows."""
+        import numpy as np
+        values = self._aggregate_delays(kind)
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, pct)) * 1000.0
+
+    def aggregate_delay_mean_ms(self, kind: str = "one_way") -> float:
+        """Mean per-packet delay over all packets of all flows."""
+        import numpy as np
+        values = self._aggregate_delays(kind)
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(values)) * 1000.0
+
+    def aggregate_throughput_bps(self, t0: float = 0.0,
+                                 t1: Optional[float] = None) -> float:
+        t1 = self.duration if t1 is None else t1
+        return sum(self.flow_throughput_bps(f, t0, t1) for f in self.scenario.flows)
+
+    # ------------------------------------------------------------ links
+    def link_monitor(self, link_or_name: Union[Link, str]) -> LinkMonitor:
+        if isinstance(link_or_name, str):
+            return self.scenario.monitors[link_or_name]
+        return self.scenario.monitors[link_or_name.name]
+
+    def link_utilization(self, link: Link, t0: float = 0.0,
+                         t1: Optional[float] = None) -> float:
+        t1 = self.duration if t1 is None else t1
+        offered = link.offered_bits(t0, t1)
+        if offered <= 0:
+            return 0.0
+        delivered = self.link_monitor(link).delivered_bytes(t0, t1) * 8.0
+        return min(max(delivered / offered, 0.0), 1.0)
+
+    def link_drops(self, link: Link) -> int:
+        return self.link_monitor(link).drops()
+
+    def summary(self, link: Optional[Link] = None,
+                warmup: float = 0.0) -> Dict[str, float]:
+        """Convenience summary used by the experiment runner."""
+        link = link if link is not None else self.scenario.links[0]
+        return {
+            "throughput_bps": self.aggregate_throughput_bps(t0=warmup),
+            "utilization": self.link_utilization(link, t0=warmup),
+            "delay_p95_ms": self.aggregate_delay_percentile_ms(95),
+            "delay_mean_ms": self.aggregate_delay_mean_ms(),
+            "queuing_p95_ms": self.aggregate_delay_percentile_ms(95, kind="queuing"),
+            "drops": float(self.link_drops(link)),
+        }

@@ -1,0 +1,34 @@
+"""802.11n WiFi MAC model and the ABC WiFi link-rate estimator (§4.1).
+
+The paper's WiFi evaluation runs on a commodity 802.11n access point whose
+driver exposes A-MPDU batch sizes, block-ACK receive times and per-batch
+transmission bitrates.  This package provides:
+
+* :mod:`repro.wifi.mcs` — the 802.11n MCS-index → PHY-bitrate table and the
+  MCS schedules used in the experiments (alternating 1↔7 every 2 s, and the
+  Brownian-motion schedule of Appendix B);
+* :mod:`repro.wifi.mac` — a :class:`~repro.simulator.link.Link` subclass that
+  transmits queued frames in A-MPDU batches, models per-batch overhead
+  (contention, preamble, block-ACK) and reports the observables the estimator
+  needs;
+* :mod:`repro.wifi.rate_estimator` — the estimator of Eqs. (5)–(8): it infers
+  the backlogged-link capacity from partial batches by extrapolating the
+  inter-ACK time to a full batch.
+"""
+
+from repro.wifi.mac import WiFiLink, WiFiMacConfig
+from repro.wifi.mcs import (AlternatingMCSSchedule, BrownianMCSSchedule,
+                            FixedMCSSchedule, MCS_RATES_BPS, mcs_rate_bps)
+from repro.wifi.rate_estimator import BatchObservation, WiFiRateEstimator
+
+__all__ = [
+    "MCS_RATES_BPS",
+    "mcs_rate_bps",
+    "FixedMCSSchedule",
+    "AlternatingMCSSchedule",
+    "BrownianMCSSchedule",
+    "WiFiMacConfig",
+    "WiFiLink",
+    "BatchObservation",
+    "WiFiRateEstimator",
+]

@@ -1,0 +1,109 @@
+"""ABC's WiFi link-rate estimator (§4.1, Eqs. 5–8).
+
+The estimator runs at the access point.  For every transmitted A-MPDU batch it
+observes the batch size ``b`` (frames), the frame size ``S`` (bits), the
+transmission bitrate ``R`` and the block-ACK inter-arrival time ``TIA(b, t)``.
+Because the inter-ACK time decomposes into a size-proportional part and a
+size-independent overhead ``h(t)``,
+
+    TIA(b, t) = b·S/R + h(t),
+
+the inter-ACK time of a hypothetical *full* batch of ``M`` frames can be
+extrapolated from a partial batch:
+
+    T̂IA(M, t) = TIA(b, t) + (M − b)·S/R,                        (Eq. 8)
+
+giving the link-capacity estimate
+
+    µ̂(t) = M·S / T̂IA(M, t).                                     (Eq. 6)
+
+Samples are smoothed with a moving average over a sliding window ``T`` (40 ms
+in the paper) and the prediction is capped at twice the currently observed
+dequeue rate, because ABC cannot ask senders for more than a rate doubling per
+RTT anyway.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.simulator.estimators import WindowedRateEstimator
+
+
+@dataclass
+class BatchObservation:
+    """One A-MPDU transmission as seen by the qdisc (§6.1)."""
+
+    time: float
+    batch_frames: int
+    frame_bits: float
+    inter_ack_time: float
+    bitrate_bps: float
+
+
+class WiFiRateEstimator:
+    """Implements the estimator of Eqs. (5)–(8)."""
+
+    def __init__(self, max_batch_frames: int = 32, window: float = 0.04,
+                 cap_factor: float = 2.0):
+        if max_batch_frames <= 0:
+            raise ValueError("max_batch_frames must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.max_batch_frames = max_batch_frames
+        self.window = window
+        self.cap_factor = cap_factor
+        self._samples: Deque[tuple[float, float]] = deque()
+        self._dequeue_rate = WindowedRateEstimator(window=window)
+        self.last_raw_estimate = 0.0
+        self.observations = 0
+
+    # ------------------------------------------------------------ inputs
+    def observe_batch(self, obs: BatchObservation) -> float:
+        """Process one block-ACK and return the raw µ̂ sample (bps)."""
+        if obs.batch_frames <= 0 or obs.inter_ack_time <= 0 or obs.bitrate_bps <= 0:
+            raise ValueError("batch observation fields must be positive")
+        self.observations += 1
+        m = self.max_batch_frames
+        b = min(obs.batch_frames, m)
+        # Eq. 8: extrapolate the inter-ACK time to a full batch.
+        tia_full = obs.inter_ack_time + (m - b) * obs.frame_bits / obs.bitrate_bps
+        # Eq. 6: full-batch capacity estimate.
+        mu_hat = m * obs.frame_bits / tia_full
+        self.last_raw_estimate = mu_hat
+        self._samples.append((obs.time, mu_hat))
+        self._expire(obs.time)
+        # Track the actually delivered bits for the rate-doubling cap.
+        self._dequeue_rate.add(obs.time, int(b * obs.frame_bits / 8))
+        return mu_hat
+
+    def observed_dequeue_rate(self, now: float) -> float:
+        """Rate actually delivered over the sliding window (bps)."""
+        return self._dequeue_rate.rate_bps(now)
+
+    # ------------------------------------------------------------ outputs
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def estimate_bps(self, now: float, apply_cap: bool = True) -> float:
+        """Smoothed (and optionally capped) link-capacity estimate µ̂(t)."""
+        self._expire(now)
+        if not self._samples:
+            return 0.0
+        average = sum(value for _, value in self._samples) / len(self._samples)
+        if not apply_cap:
+            return average
+        observed = self.observed_dequeue_rate(now)
+        if observed <= 0:
+            return average
+        return min(average, self.cap_factor * observed)
+
+    def capacity_fn(self, apply_cap: bool = True):
+        """A ``fn(now) -> bps`` callback suitable for the ABC router qdisc."""
+        def _estimate(now: float) -> float:
+            return self.estimate_bps(now, apply_cap=apply_cap)
+        return _estimate

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.cellular.trace import CellularTrace
+from repro.simulator.engine import EventLoop
+
+
+@pytest.fixture
+def env() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture(scope="session")
+def short_trace() -> CellularTrace:
+    """A 10-second mildly varying trace used by fast integration tests."""
+    config = SyntheticTraceConfig(mean_rate_bps=10e6, min_rate_bps=2e6,
+                                  max_rate_bps=20e6, volatility=0.2,
+                                  outage_rate_per_s=0.0, name="test-trace")
+    return synthetic_trace(config, duration=10.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bursty_trace() -> CellularTrace:
+    """A strongly varying 10-second trace (with outages)."""
+    config = SyntheticTraceConfig(mean_rate_bps=8e6, min_rate_bps=0.5e6,
+                                  max_rate_bps=20e6, volatility=0.35,
+                                  outage_rate_per_s=0.1, outage_duration_s=0.3,
+                                  name="bursty-test-trace")
+    return synthetic_trace(config, duration=10.0, seed=7)
+
+
+def run_single_flow(cc, qdisc, link_spec, duration=8.0, rtt=0.1, source=None):
+    """Helper shared by integration tests: one flow over one bottleneck."""
+    from repro.simulator.scenario import Scenario
+
+    scenario = Scenario()
+    if isinstance(link_spec, CellularTrace):
+        link = scenario.add_cellular_link(link_spec, qdisc=qdisc, name="bottleneck")
+    elif isinstance(link_spec, (int, float)):
+        link = scenario.add_rate_link(float(link_spec), qdisc=qdisc, name="bottleneck")
+    else:
+        link = scenario.add_rate_link(link_spec, qdisc=qdisc, name="bottleneck")
+    flow = scenario.add_flow(cc, [link], rtt=rtt, source=source)
+    result = scenario.run(duration)
+    return result, link, flow

@@ -1,0 +1,165 @@
+"""Tests for the AQM qdiscs (DropTail, CoDel, PIE, RED)."""
+
+import pytest
+
+from repro.aqm import CoDelQdisc, DropTailQdisc, PIEQdisc, REDQdisc
+from repro.cc.cubic import Cubic
+from repro.simulator.packet import ECN, Packet
+from tests.conftest import run_single_flow
+
+
+def mk(seq, ecn=ECN.NOT_ECT):
+    return Packet(flow_id=0, seq=seq, size=1500, ecn=ecn)
+
+
+# ------------------------------------------------------------ CoDel unit
+def test_codel_parameter_validation():
+    with pytest.raises(ValueError):
+        CoDelQdisc(target=0.0)
+    with pytest.raises(ValueError):
+        CoDelQdisc(interval=-1.0)
+
+
+def test_codel_no_drops_below_target():
+    q = CoDelQdisc(target=0.005, interval=0.1)
+    now = 0.0
+    for i in range(50):
+        q.enqueue(mk(i), now)
+        pkt = q.dequeue(now + 0.001)  # 1 ms sojourn, below 5 ms target
+        assert pkt is not None
+        now += 0.002
+    assert q.dropped_packets == 0
+
+
+def test_codel_drops_when_sojourn_persistently_high():
+    q = CoDelQdisc(target=0.005, interval=0.05)
+    # Fill a standing queue and drain it slowly so sojourn stays high.
+    for i in range(200):
+        q.enqueue(mk(i), i * 0.0001)
+    now = 0.5
+    delivered = 0
+    for _ in range(200):
+        pkt = q.dequeue(now)
+        if pkt is None:
+            break
+        delivered += 1
+        now += 0.01
+    assert q.dropped_packets > 0
+    assert delivered < 200
+
+
+def test_codel_ecn_marks_instead_of_dropping():
+    q = CoDelQdisc(target=0.005, interval=0.05, ecn=True)
+    for i in range(200):
+        q.enqueue(mk(i, ecn=ECN.ACCEL), i * 0.0001)
+    now = 0.5
+    marked = 0
+    for _ in range(200):
+        pkt = q.dequeue(now)
+        if pkt is None:
+            break
+        if pkt.ecn == ECN.CE:
+            marked += 1
+        now += 0.01
+    assert marked > 0
+    assert q.dropped_packets == 0
+
+
+def test_codel_tail_drop_when_buffer_full():
+    q = CoDelQdisc(buffer_packets=2)
+    assert q.enqueue(mk(0), 0.0)
+    assert q.enqueue(mk(1), 0.0)
+    assert not q.enqueue(mk(2), 0.0)
+
+
+# ------------------------------------------------------------ PIE unit
+def test_pie_parameter_validation():
+    with pytest.raises(ValueError):
+        PIEQdisc(target=0.0)
+    with pytest.raises(ValueError):
+        PIEQdisc(t_update=0.0)
+
+
+def test_pie_probability_rises_with_standing_queue():
+    q = PIEQdisc(target=0.015, t_update=0.015)
+    now = 0.0
+    # Build a large standing queue drained at 1/10th the arrival rate.
+    for i in range(600):
+        q.enqueue(mk(i), now)
+        if i % 10 == 0:
+            q.dequeue(now)
+        now += 0.001
+    assert q.drop_prob > 0.0
+    assert q.dropped_packets > 0
+
+
+def test_pie_no_drops_when_queue_short():
+    q = PIEQdisc()
+    now = 0.0
+    for i in range(100):
+        q.enqueue(mk(i), now)
+        q.dequeue(now + 0.0005)
+        now += 0.001
+    assert q.dropped_packets == 0
+
+
+# ------------------------------------------------------------ RED unit
+def test_red_validation():
+    with pytest.raises(ValueError):
+        REDQdisc(min_th=10, max_th=5)
+    with pytest.raises(ValueError):
+        REDQdisc(max_p=0.0)
+
+
+def test_red_drops_probabilistically_above_min_threshold():
+    q = REDQdisc(buffer_packets=200, min_th=5, max_th=20, max_p=0.5, weight=0.5)
+    accepted = 0
+    for i in range(200):
+        if q.enqueue(mk(i), 0.0):
+            accepted += 1
+    assert q.dropped_packets > 0
+    assert accepted < 200
+
+
+def test_red_marks_ecn_capable_packets():
+    q = REDQdisc(buffer_packets=200, min_th=2, max_th=10, max_p=1.0,
+                 weight=0.9, ecn=True)
+    marked = 0
+    for i in range(100):
+        pkt = mk(i, ecn=ECN.ACCEL)
+        if q.enqueue(pkt, 0.0) and pkt.ecn == ECN.CE:
+            marked += 1
+    assert marked > 0
+    assert q.dropped_packets == 0
+
+
+def test_red_empty_queue_no_marking():
+    q = REDQdisc(min_th=5, max_th=20)
+    assert q.enqueue(mk(0), 0.0)
+    assert q.dequeue(0.0).seq == 0
+    assert q.dropped_packets == 0
+
+
+# ------------------------------------------------------------ integration
+def test_cubic_over_droptail_builds_bufferbloat(short_trace):
+    result, link, flow = run_single_flow(Cubic(), DropTailQdisc(250), short_trace)
+    assert result.link_utilization(link) > 0.8
+    assert flow.stats.delay_percentile(95, kind="queuing") > 0.2  # > 200 ms
+
+
+def test_codel_cuts_cubic_delay(short_trace):
+    bloat_result, _, bloat_flow = run_single_flow(Cubic(), DropTailQdisc(250),
+                                                  short_trace)
+    codel_result, _, codel_flow = run_single_flow(Cubic(), CoDelQdisc(250),
+                                                  short_trace)
+    bloat_delay = bloat_flow.stats.mean_delay(kind="queuing")
+    codel_delay = codel_flow.stats.mean_delay(kind="queuing")
+    assert codel_delay < bloat_delay / 2.0
+
+
+def test_pie_cuts_cubic_delay(short_trace):
+    bloat_result, _, bloat_flow = run_single_flow(Cubic(), DropTailQdisc(250),
+                                                  short_trace)
+    pie_result, _, pie_flow = run_single_flow(Cubic(), PIEQdisc(250), short_trace)
+    assert (pie_flow.stats.mean_delay(kind="queuing")
+            < bloat_flow.stats.mean_delay(kind="queuing") / 2.0)

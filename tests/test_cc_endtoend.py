@@ -1,0 +1,318 @@
+"""Unit tests for the end-to-end congestion-control baselines.
+
+These tests drive the algorithms directly through synthetic ACK feedback (no
+simulator), checking each control law's defining behaviours.
+"""
+
+import math
+
+import pytest
+
+from repro.cc import (AIMD, BBR, Copa, Cubic, NewReno, PCCVivace, Sprout,
+                      Vegas, Verus, available_schemes, make_cc)
+from repro.simulator.packet import MTU, AckFeedback
+
+
+def ack(now, rtt=0.1, bytes_acked=MTU, accel=True, ece=False, in_flight=10,
+        sent_time=None):
+    return AckFeedback(now=now, rtt=rtt, bytes_acked=bytes_acked, accel=accel,
+                       ece=ece, packets_in_flight=in_flight,
+                       sent_time=sent_time if sent_time is not None else now - (rtt or 0.1))
+
+
+def drive(cc, n_acks=100, rtt=0.1, start=0.0, spacing=0.01, **kwargs):
+    now = start
+    for _ in range(n_acks):
+        cc.on_ack(ack(now, rtt=rtt, **kwargs))
+        now += spacing
+    return now
+
+
+# ------------------------------------------------------------ registry
+def test_registry_lists_all_schemes():
+    names = available_schemes()
+    for expected in ("abc", "cubic", "bbr", "copa", "vegas", "sprout", "verus",
+                     "pcc", "xcp", "rcp", "vcp", "newreno", "aimd"):
+        assert expected in names
+
+
+def test_registry_unknown_scheme_raises():
+    with pytest.raises(KeyError):
+        make_cc("quic-bbr3")
+
+
+def test_registry_builds_instances():
+    assert isinstance(make_cc("cubic"), Cubic)
+    assert isinstance(make_cc("vegas"), Vegas)
+    assert make_cc("abc").uses_abc
+
+
+# ------------------------------------------------------------ AIMD / NewReno
+def test_aimd_slow_start_doubles_per_window():
+    cc = AIMD(initial_cwnd=2.0, ssthresh=64.0)
+    drive(cc, n_acks=2)
+    assert cc.cwnd() == pytest.approx(4.0)
+
+
+def test_aimd_congestion_avoidance_linear():
+    cc = AIMD(initial_cwnd=10.0, ssthresh=1.0)
+    before = cc.cwnd()
+    drive(cc, n_acks=10)  # one window's worth of ACKs -> +1 packet
+    assert cc.cwnd() == pytest.approx(before + 1.0, rel=0.05)
+
+
+def test_aimd_loss_halves_window():
+    cc = AIMD(initial_cwnd=20.0, ssthresh=1.0)
+    cc.on_loss(1.0)
+    assert cc.cwnd() == pytest.approx(10.0)
+
+
+def test_newreno_timeout_resets_to_min():
+    cc = NewReno(initial_cwnd=30.0)
+    cc.on_timeout(1.0)
+    assert cc.cwnd() == cc.min_cwnd()
+
+
+def test_newreno_reduces_once_per_rtt():
+    cc = NewReno(initial_cwnd=32.0)
+    cc.ssthresh = 1.0
+    cc.on_loss(1.0)
+    w = cc.cwnd()
+    cc.on_loss(1.001)  # within the same RTT: ignored
+    assert cc.cwnd() == w
+
+
+# ------------------------------------------------------------ Cubic
+def test_cubic_slow_start_growth():
+    cc = Cubic(initial_cwnd=2.0)
+    drive(cc, n_acks=4)
+    assert cc.cwnd() == pytest.approx(6.0)
+
+
+def test_cubic_loss_reduces_by_beta():
+    cc = Cubic(initial_cwnd=100.0)
+    cc.ssthresh = 1.0
+    cc.on_loss(1.0)
+    assert cc.cwnd() == pytest.approx(70.0, rel=0.01)
+
+
+def test_cubic_concave_recovery_toward_wmax():
+    cc = Cubic(initial_cwnd=100.0)
+    cc.ssthresh = 1.0
+    cc.on_loss(1.0)
+    after_loss = cc.cwnd()
+    drive(cc, n_acks=400, start=1.0, spacing=0.005)
+    assert after_loss < cc.cwnd() <= 110.0
+
+
+def test_cubic_ecn_reacts_like_loss():
+    cc = Cubic(initial_cwnd=100.0)
+    cc.ssthresh = 1.0
+    cc.on_ack(ack(1.0, ece=True))
+    assert cc.cwnd() < 100.0
+
+
+def test_cubic_ecn_reduction_once_per_rtt():
+    cc = Cubic(initial_cwnd=100.0)
+    cc.ssthresh = 1.0
+    cc.on_ack(ack(1.0, ece=True))
+    w = cc.cwnd()
+    cc.on_ack(ack(1.01, ece=True))
+    assert cc.cwnd() == pytest.approx(w, rel=0.02)
+
+
+def test_cubic_timeout_collapses_window():
+    cc = Cubic(initial_cwnd=50.0)
+    cc.on_timeout(2.0)
+    assert cc.cwnd() == cc.min_cwnd()
+
+
+def test_cubic_clamp_to_cap():
+    cc = Cubic(initial_cwnd=50.0)
+    cc.clamp_to(10.0)
+    assert cc.cwnd() == 10.0
+
+
+# ------------------------------------------------------------ Vegas
+def test_vegas_increases_when_queue_small():
+    cc = Vegas(initial_cwnd=10.0)
+    cc._in_slow_start = False
+    drive(cc, n_acks=20, rtt=0.1)   # base == actual RTT -> diff 0 < alpha
+    assert cc.cwnd() > 10.0
+
+
+def test_vegas_decreases_when_queue_large():
+    cc = Vegas(initial_cwnd=50.0)
+    cc._in_slow_start = False
+    cc.base_rtt = 0.1
+    drive(cc, n_acks=30, rtt=0.2)   # large standing queue -> diff > beta
+    assert cc.cwnd() < 50.0
+
+
+def test_vegas_leaves_slow_start_on_queueing():
+    cc = Vegas(initial_cwnd=4.0)
+    cc.base_rtt = 0.1
+    drive(cc, n_acks=50, rtt=0.25)
+    assert not cc._in_slow_start
+
+
+def test_vegas_loss_is_gentle():
+    cc = Vegas(initial_cwnd=40.0)
+    cc.on_loss(1.0)
+    assert cc.cwnd() == pytest.approx(30.0)
+
+
+# ------------------------------------------------------------ BBR
+def test_bbr_needs_pacing_flag():
+    assert BBR.needs_pacing
+
+
+def test_bbr_estimates_bandwidth_and_exits_startup():
+    cc = BBR(initial_cwnd=10.0)
+    now = 0.0
+    for i in range(300):
+        cc.on_ack(ack(now, rtt=0.1, in_flight=20))
+        now += 0.004
+    assert cc.btl_bw.get() > 0
+    assert cc.state != BBR.STARTUP
+
+
+def test_bbr_cwnd_tracks_bdp():
+    cc = BBR()
+    cc.btl_bw.update(0.0, 10e6)
+    cc.min_rtt.update(0.0, 0.1)
+    bdp_packets = 10e6 * 0.1 / (MTU * 8.0)
+    assert cc.cwnd() == pytest.approx(cc.cwnd_gain * bdp_packets, rel=0.01)
+
+
+def test_bbr_pacing_rate_positive_before_samples():
+    assert BBR().pacing_rate() > 0
+
+
+def test_bbr_probe_rtt_clamps_window():
+    cc = BBR()
+    cc.state = BBR.PROBE_RTT
+    assert cc.cwnd() == 4.0
+
+
+def test_bbr_timeout_restarts_startup():
+    cc = BBR()
+    cc.state = BBR.PROBE_BW
+    cc.on_timeout(1.0)
+    assert cc.state == BBR.STARTUP
+
+
+# ------------------------------------------------------------ Copa
+def test_copa_increases_on_empty_queue():
+    cc = Copa(initial_cwnd=10.0)
+    drive(cc, n_acks=30, rtt=0.1)
+    assert cc.cwnd() > 10.0
+
+
+def test_copa_decreases_when_queuing_delay_large():
+    cc = Copa(initial_cwnd=100.0, delta=0.5)
+    cc.rtt_min.update(0.0, 0.05)
+    drive(cc, n_acks=60, rtt=0.4, start=0.1)
+    assert cc.cwnd() < 100.0
+
+
+def test_copa_velocity_resets_on_direction_change():
+    cc = Copa(initial_cwnd=50.0)
+    cc.rtt_min.update(0.0, 0.05)
+    drive(cc, n_acks=30, rtt=0.05, start=0.0)      # increasing
+    drive(cc, n_acks=30, rtt=0.5, start=1.0)       # now decreasing
+    assert cc.velocity <= 2.0 or cc._direction == -1
+
+
+def test_copa_loss_halves():
+    cc = Copa(initial_cwnd=40.0)
+    cc.on_loss(1.0)
+    assert cc.cwnd() == pytest.approx(20.0)
+
+
+# ------------------------------------------------------------ Sprout
+def test_sprout_window_follows_forecast():
+    cc = Sprout(initial_cwnd=4.0, target_delay=0.1)
+    now = 0.0
+    # 10 Mbit/s of ACKed traffic with no queuing delay.
+    for _ in range(200):
+        cc.on_ack(ack(now, rtt=0.05, bytes_acked=MTU))
+        now += 0.0012
+    assert cc.forecast_rate_bps() > 1e6
+    assert cc.cwnd() > 4.0
+
+
+def test_sprout_conservative_under_queueing():
+    cc = Sprout(initial_cwnd=50.0, target_delay=0.1)
+    cc.rtt_min = 0.05
+    now = 0.0
+    for _ in range(100):
+        cc.on_ack(ack(now, rtt=0.3, bytes_acked=MTU))  # heavy queuing
+        now += 0.01
+    forecast_window = cc.forecast_rate_bps() * 0.1 / 8.0 / MTU
+    assert cc.cwnd() == pytest.approx(max(forecast_window, 2.0), rel=0.05)
+
+
+def test_sprout_timeout_resets():
+    cc = Sprout(initial_cwnd=30.0)
+    cc.on_timeout(1.0)
+    assert cc.cwnd() == cc.min_cwnd()
+
+
+# ------------------------------------------------------------ Verus
+def test_verus_grows_when_delay_low():
+    cc = Verus(initial_cwnd=10.0)
+    drive(cc, n_acks=50, rtt=0.1)
+    assert cc.cwnd() > 10.0
+
+
+def test_verus_shrinks_when_delay_high():
+    cc = Verus(initial_cwnd=50.0)
+    cc.rtt_min.update(0.0, 0.05)
+    drive(cc, n_acks=100, rtt=0.4, start=0.1, spacing=0.02)
+    assert cc.cwnd() < 50.0
+
+
+def test_verus_loss_reduces():
+    cc = Verus(initial_cwnd=40.0)
+    cc._smoothed_rtt.update(0.1)
+    cc.on_loss(10.0)
+    assert cc.cwnd() < 40.0
+
+
+# ------------------------------------------------------------ PCC Vivace
+def test_pcc_is_rate_based():
+    assert PCCVivace.needs_pacing
+    cc = PCCVivace(initial_rate_bps=2e6)
+    assert cc.pacing_rate() > 0
+    assert cc.cwnd() >= 4.0
+
+
+def test_pcc_rate_increases_when_unconstrained():
+    cc = PCCVivace(initial_rate_bps=2e6)
+    now = 0.0
+    initial = cc.base_rate
+    # ACK everything promptly with flat RTT: utility rises with rate.
+    for i in range(1500):
+        cc.on_packet_sent(now, i, MTU, 10)
+        cc.on_ack(ack(now + 0.05, rtt=0.05, sent_time=now))
+        now += 0.003
+    assert cc.base_rate > initial
+
+
+def test_pcc_timeout_halves_rate():
+    cc = PCCVivace(initial_rate_bps=8e6)
+    cc.on_timeout(1.0)
+    assert cc.base_rate == pytest.approx(4e6)
+
+
+def test_pcc_utility_penalises_loss():
+    from repro.cc.pcc_vivace import _MonitorInterval
+    clean = _MonitorInterval(0.0, 0.1, 5e6)
+    lossy = _MonitorInterval(0.0, 0.1, 5e6)
+    for mi in (clean, lossy):
+        mi.bytes_sent = 60 * MTU
+        mi.bytes_acked = 60 * MTU
+        mi.first_rtt = mi.last_rtt = 0.1
+    lossy.losses = 10
+    assert clean.utility(9.0, 11.35) > lossy.utility(9.0, 11.35)

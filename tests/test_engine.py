@@ -1,0 +1,160 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.simulator.engine import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, fired.append, "late")
+    loop.schedule(1.0, fired.append, "early")
+    loop.schedule(1.5, fired.append, "middle")
+    loop.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    loop = EventLoop()
+    fired = []
+    for label in "abcde":
+        loop.schedule(1.0, fired.append, label)
+    loop.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    times = []
+    loop.schedule(0.5, lambda: times.append(loop.now))
+    loop.schedule(2.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [0.5, 2.5]
+    assert loop.now == 2.5
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = EventLoop()
+    loop.run(until=3.0)
+    assert loop.now == 3.0
+
+
+def test_run_until_does_not_execute_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "in")
+    loop.schedule(5.0, fired.append, "out")
+    loop.run(until=2.0)
+    assert fired == ["in"]
+    assert loop.now == 2.0
+    assert loop.pending == 1
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule(1.0, fired.append, "cancelled")
+    loop.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    loop.run()
+    assert fired == ["kept"]
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    loop.run()
+    assert loop.events_processed == 0
+
+
+def test_negative_delay_clamped_to_now():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: loop.schedule(-5.0, fired.append, loop.now))
+    loop.run()
+    assert fired == [1.0]
+
+
+def test_schedule_at_in_the_past_clamps_to_now():
+    loop = EventLoop()
+    fired = []
+
+    def later():
+        loop.schedule_at(0.1, fired.append, loop.now)
+
+    loop.schedule(1.0, later)
+    loop.run()
+    assert fired == [1.0]
+
+
+def test_nan_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(math.nan, lambda: None)
+    with pytest.raises(ValueError):
+        loop.schedule_at(math.nan, lambda: None)
+
+
+def test_events_processed_counter():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.schedule(1.0, lambda: None)
+    loop.run()
+    assert loop.events_processed == 5
+
+
+def test_max_events_limit():
+    loop = EventLoop()
+    for i in range(10):
+        loop.schedule(float(i), lambda: None)
+    loop.run(max_events=3)
+    assert loop.events_processed == 3
+
+
+def test_step_executes_single_event():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, 1)
+    loop.schedule(2.0, fired.append, 2)
+    assert loop.step() is True
+    assert fired == [1]
+    assert loop.step() is True
+    assert loop.step() is False
+
+
+def test_events_scheduled_during_run_are_executed():
+    loop = EventLoop()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            loop.schedule(1.0, chain, depth + 1)
+
+    loop.schedule(0.0, chain, 0)
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_clear_drops_pending_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, fired.append, "x")
+    loop.clear()
+    loop.run()
+    assert fired == []
+
+
+def test_callback_args_are_passed():
+    loop = EventLoop()
+    received = []
+    loop.schedule(0.5, lambda a, b: received.append((a, b)), 1, "two")
+    loop.run()
+    assert received == [(1, "two")]

@@ -1,0 +1,143 @@
+"""Tests for the measurement utilities (rate windows, EWMA, min/max, RTT)."""
+
+import math
+
+import pytest
+
+from repro.simulator.estimators import (EWMA, RTTEstimator, WindowedMinMax,
+                                        WindowedRateEstimator)
+
+
+# ------------------------------------------------------------ rate estimator
+def test_rate_estimator_constant_stream():
+    est = WindowedRateEstimator(window=1.0)
+    for i in range(10):
+        est.add(i * 0.1, 1250)  # 1250 B every 100 ms = 100 kbit/s
+    assert est.rate_bps(0.9) == pytest.approx(1e5, rel=0.15)
+
+
+def test_rate_estimator_expires_old_samples():
+    est = WindowedRateEstimator(window=0.5)
+    est.add(0.0, 10_000)
+    est.add(5.0, 1000)
+    # The 0.0 sample is far outside the window at t=5.
+    assert est.rate_bps(5.0) == pytest.approx(1000 * 8 / 0.5, rel=0.01)
+
+
+def test_rate_estimator_empty_is_zero():
+    est = WindowedRateEstimator(window=0.1)
+    assert est.rate_bps(10.0) == 0.0
+
+
+def test_rate_estimator_reset():
+    est = WindowedRateEstimator(window=1.0)
+    est.add(0.0, 1000)
+    est.reset()
+    assert est.rate_bps(0.5) == 0.0
+
+
+def test_rate_estimator_rejects_bad_window():
+    with pytest.raises(ValueError):
+        WindowedRateEstimator(window=0.0)
+
+
+def test_rate_estimator_single_burst_not_infinite():
+    est = WindowedRateEstimator(window=0.1)
+    est.add(1.0, 1500)
+    assert math.isfinite(est.rate_bps(1.0))
+
+
+# ------------------------------------------------------------ EWMA
+def test_ewma_initialises_with_first_sample():
+    e = EWMA(alpha=0.5)
+    assert e.value is None
+    assert e.update(10.0) == 10.0
+
+
+def test_ewma_moves_toward_samples():
+    e = EWMA(alpha=0.5, initial=0.0)
+    e.update(10.0)
+    assert e.value == pytest.approx(5.0)
+    e.update(10.0)
+    assert e.value == pytest.approx(7.5)
+
+
+def test_ewma_get_default():
+    assert EWMA(alpha=0.2).get(default=3.0) == 3.0
+
+
+def test_ewma_alpha_validation():
+    with pytest.raises(ValueError):
+        EWMA(alpha=0.0)
+    with pytest.raises(ValueError):
+        EWMA(alpha=1.5)
+
+
+# ------------------------------------------------------------ min/max window
+def test_windowed_max_tracks_maximum():
+    w = WindowedMinMax(window=10.0, mode="max")
+    w.update(0.0, 5.0)
+    w.update(1.0, 3.0)
+    w.update(2.0, 8.0)
+    assert w.get() == 8.0
+
+
+def test_windowed_max_expires():
+    w = WindowedMinMax(window=1.0, mode="max")
+    w.update(0.0, 100.0)
+    w.update(2.0, 5.0)
+    assert w.query(2.0) == 5.0
+
+
+def test_windowed_min_tracks_minimum():
+    w = WindowedMinMax(window=10.0, mode="min")
+    for t, v in [(0, 0.3), (1, 0.1), (2, 0.2)]:
+        w.update(float(t), v)
+    assert w.get() == pytest.approx(0.1)
+
+
+def test_windowed_minmax_default_when_empty():
+    w = WindowedMinMax(window=1.0, mode="min")
+    assert w.get(default=42.0) == 42.0
+
+
+def test_windowed_minmax_validation():
+    with pytest.raises(ValueError):
+        WindowedMinMax(window=1.0, mode="median")
+    with pytest.raises(ValueError):
+        WindowedMinMax(window=0.0, mode="max")
+
+
+# ------------------------------------------------------------ RTT estimator
+def test_rtt_estimator_first_sample_sets_srtt():
+    rtt = RTTEstimator()
+    rtt.update(0.2)
+    assert rtt.srtt == pytest.approx(0.2)
+    assert rtt.rttvar == pytest.approx(0.1)
+
+
+def test_rtt_estimator_tracks_min():
+    rtt = RTTEstimator()
+    for sample in (0.3, 0.1, 0.2):
+        rtt.update(sample)
+    assert rtt.minimum() == pytest.approx(0.1)
+
+
+def test_rtt_estimator_rto_has_floor():
+    rtt = RTTEstimator(min_rto=0.2)
+    rtt.update(0.01)
+    assert rtt.rto >= 0.2
+
+
+def test_rtt_estimator_rto_before_samples():
+    assert RTTEstimator().rto == pytest.approx(1.0)
+
+
+def test_rtt_estimator_ignores_non_positive_samples():
+    rtt = RTTEstimator()
+    rtt.update(-1.0)
+    assert rtt.srtt is None
+
+
+def test_rtt_estimator_smoothed_default():
+    assert RTTEstimator().smoothed(default=0.25) == 0.25

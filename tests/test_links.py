@@ -1,0 +1,174 @@
+"""Tests for capacity models and the rate/opportunity link implementations."""
+
+import pytest
+
+from repro.simulator.engine import EventLoop
+from repro.simulator.link import (ConstantRate, OpportunityLink, RateLink,
+                                  SquareWaveRate, SteppedRate)
+from repro.simulator.packet import MTU, Packet
+from repro.simulator.qdisc import FifoQdisc
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+# ------------------------------------------------------------ capacity models
+def test_constant_rate_model():
+    model = ConstantRate(8e6)
+    assert model.rate_at(0.0) == 8e6
+    assert model.bits_between(0.0, 2.0) == pytest.approx(16e6)
+
+
+def test_constant_rate_rejects_non_positive():
+    with pytest.raises(ValueError):
+        ConstantRate(0.0)
+
+
+def test_stepped_rate_lookup():
+    model = SteppedRate([(0.0, 1e6), (5.0, 2e6), (10.0, 4e6)])
+    assert model.rate_at(0.0) == 1e6
+    assert model.rate_at(4.999) == 1e6
+    assert model.rate_at(5.0) == 2e6
+    assert model.rate_at(20.0) == 4e6
+
+
+def test_stepped_rate_bits_between_spans_steps():
+    model = SteppedRate([(0.0, 1e6), (1.0, 3e6)])
+    assert model.bits_between(0.0, 2.0) == pytest.approx(4e6)
+    assert model.bits_between(2.0, 2.0) == 0.0
+
+
+def test_stepped_rate_validation():
+    with pytest.raises(ValueError):
+        SteppedRate([])
+    with pytest.raises(ValueError):
+        SteppedRate([(1.0, 1e6), (0.5, 2e6)])
+    with pytest.raises(ValueError):
+        SteppedRate([(0.0, -1.0)])
+
+
+def test_square_wave_alternates():
+    model = SquareWaveRate(12e6, 24e6, half_period=0.5)
+    assert model.rate_at(0.25) == 24e6
+    assert model.rate_at(0.75) == 12e6
+    assert model.rate_at(1.25) == 24e6
+
+
+def test_square_wave_start_low():
+    model = SquareWaveRate(12e6, 24e6, half_period=0.5, start_low=True)
+    assert model.rate_at(0.0) == 12e6
+
+
+# ------------------------------------------------------------ rate link
+def test_rate_link_transmission_time():
+    env = EventLoop()
+    sink = Collector()
+    link = RateLink(env, ConstantRate(12e6), qdisc=FifoQdisc(), dst=sink)
+    link.send(Packet(flow_id=0, seq=0, size=1500))
+    env.run()
+    # 1500 B at 12 Mbit/s = 1 ms
+    assert env.now == pytest.approx(0.001)
+    assert len(sink.packets) == 1
+
+
+def test_rate_link_serialises_back_to_back_packets():
+    env = EventLoop()
+    sink = Collector()
+    link = RateLink(env, ConstantRate(12e6), qdisc=FifoQdisc(), dst=sink)
+    for i in range(3):
+        link.send(Packet(flow_id=0, seq=i, size=1500))
+    env.run()
+    assert env.now == pytest.approx(0.003)
+    assert [p.seq for p in sink.packets] == [0, 1, 2]
+
+
+def test_rate_link_propagation_delay():
+    env = EventLoop()
+    sink = Collector()
+    link = RateLink(env, ConstantRate(12e6), qdisc=FifoQdisc(), dst=sink,
+                    prop_delay=0.05)
+    link.send(Packet(flow_id=0, seq=0, size=1500))
+    env.run()
+    assert env.now == pytest.approx(0.051)
+
+
+def test_rate_link_drop_counted():
+    env = EventLoop()
+    link = RateLink(env, ConstantRate(1e6), qdisc=FifoQdisc(buffer_packets=1),
+                    dst=Collector())
+    for i in range(5):
+        link.send(Packet(flow_id=0, seq=i))
+    # One in service slot has been dequeued; one queued; the rest dropped.
+    assert link.dropped_packets >= 2
+
+
+def test_rate_link_capacity_and_offered_bits():
+    env = EventLoop()
+    link = RateLink(env, ConstantRate(5e6), qdisc=FifoQdisc())
+    assert link.capacity_bps(3.0) == 5e6
+    assert link.offered_bits(0.0, 2.0) == pytest.approx(10e6)
+
+
+# ------------------------------------------------------------ opportunity link
+def test_opportunity_link_delivers_on_schedule():
+    env = EventLoop()
+    sink = Collector()
+    times = [0.01, 0.02, 0.03, 0.04]
+    link = OpportunityLink(env, times, qdisc=FifoQdisc(), dst=sink)
+    for i in range(2):
+        link.send(Packet(flow_id=0, seq=i, size=MTU))
+    link.start()
+    env.run(until=0.025)
+    assert len(sink.packets) == 2
+    assert env.now == pytest.approx(0.025)
+
+
+def test_opportunity_link_wasted_opportunities_when_idle():
+    env = EventLoop()
+    sink = Collector()
+    link = OpportunityLink(env, [0.01, 0.02], qdisc=FifoQdisc(), dst=sink)
+    link.start()
+    env.run(until=0.05)
+    assert sink.packets == []
+
+
+def test_opportunity_link_small_packets_share_an_opportunity():
+    env = EventLoop()
+    sink = Collector()
+    link = OpportunityLink(env, [0.01], qdisc=FifoQdisc(), dst=sink)
+    for i in range(3):
+        link.send(Packet(flow_id=0, seq=i, size=400))
+    link.start()
+    env.run(until=0.015)
+    assert len(sink.packets) == 3  # 3 x 400 B fit in one 1500 B opportunity
+
+
+def test_opportunity_link_trace_wraps_around():
+    env = EventLoop()
+    sink = Collector()
+    link = OpportunityLink(env, [0.5, 1.0], qdisc=FifoQdisc(buffer_packets=10), dst=sink)
+    for i in range(4):
+        link.send(Packet(flow_id=0, seq=i))
+    link.start()
+    env.run(until=2.1)
+    # Opportunities at 0.5, 1.0, then wrap: 1.5, 2.0.
+    assert len(sink.packets) == 4
+
+
+def test_opportunity_link_capacity_window():
+    env = EventLoop()
+    times = [i * 0.001 for i in range(1000)]  # 1500 B every 1 ms = 12 Mbit/s
+    link = OpportunityLink(env, times, qdisc=FifoQdisc())
+    assert link.capacity_in_window(0.0, 0.5) == pytest.approx(12e6, rel=0.01)
+    assert link.future_capacity_bps(0.1, 0.1) == pytest.approx(12e6, rel=0.05)
+    assert link.offered_bits(0.0, 1.0) == pytest.approx(12e6, rel=0.01)
+
+
+def test_opportunity_link_requires_opportunities():
+    with pytest.raises(ValueError):
+        OpportunityLink(EventLoop(), [], qdisc=FifoQdisc())

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import jain_fairness_index
+from repro.analysis.maxmin import max_min_allocation
+from repro.analysis.topk import SpaceSaving
+from repro.core.marking import TokenBucketMarker
+from repro.core.params import ABCParams
+from repro.core.router import ABCRouterQdisc
+from repro.core.sender import ABCWindowControl
+from repro.core.stability import FluidModel
+from repro.simulator.engine import EventLoop
+from repro.simulator.estimators import WindowedMinMax, WindowedRateEstimator
+from repro.simulator.packet import AckFeedback, ECN, MTU, Packet, apply_brake
+from repro.simulator.qdisc import FifoQdisc
+
+# Keep hypothesis example counts moderate so the suite stays fast.
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# ------------------------------------------------------------ event loop
+@SETTINGS
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=50))
+def test_event_loop_processes_events_in_nondecreasing_time(delays):
+    loop = EventLoop()
+    fired = []
+    for d in delays:
+        loop.schedule(d, lambda t=d: fired.append(loop.now))
+    loop.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ------------------------------------------------------------ token bucket
+@SETTINGS
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=2000))
+def test_token_bucket_fraction_invariant(fraction, n):
+    marker = TokenBucketMarker()
+    accels = sum(marker.mark(fraction) for _ in range(n))
+    # Never more accelerates than the cumulative fraction allows (+1 for the
+    # token that may be outstanding at the end).
+    assert accels <= fraction * n + 1.0
+
+
+@SETTINGS
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=500))
+def test_token_bucket_bounded_by_cumulative_fraction(fractions):
+    marker = TokenBucketMarker()
+    accels = sum(marker.mark(f) for f in fractions)
+    assert accels <= sum(fractions) + 1.0
+    assert marker.token >= 0.0
+
+
+# ------------------------------------------------------------ ECN / router
+@SETTINGS
+@given(st.sampled_from(list(ECN)))
+def test_apply_brake_never_upgrades(codepoint):
+    result = apply_brake(codepoint)
+    assert result != ECN.ACCEL or codepoint == ECN.ACCEL
+    # Applying brake twice is idempotent.
+    assert apply_brake(result) == result
+
+
+@SETTINGS
+@given(st.floats(min_value=1e5, max_value=1e9),
+       st.integers(min_value=0, max_value=400),
+       st.floats(min_value=0.01, max_value=1.0))
+def test_router_target_rate_bounded(capacity, queue_packets, delta):
+    params = ABCParams(delta=delta)
+    router = ABCRouterQdisc(params=params, buffer_packets=500,
+                            capacity_fn=lambda now: capacity)
+    for i in range(queue_packets):
+        router.enqueue(Packet(flow_id=0, seq=i), 0.0)
+    tr = router.target_rate(0.0)
+    assert 0.0 <= tr <= params.eta * capacity + 1e-6
+
+
+@SETTINGS
+@given(st.floats(min_value=1e5, max_value=1e8))
+def test_router_accel_fraction_in_unit_interval(capacity):
+    router = ABCRouterQdisc(capacity_fn=lambda now: capacity)
+    now = 0.0
+    for i in range(50):
+        router.enqueue(Packet(flow_id=0, seq=i), now)
+        router.dequeue(now)
+        now += 0.001
+    assert 0.0 <= router.accel_fraction(now) <= 1.0
+
+
+# ------------------------------------------------------------ ABC sender
+@SETTINGS
+@given(st.lists(st.booleans(), min_size=1, max_size=400),
+       st.floats(min_value=2.0, max_value=100.0))
+def test_abc_window_stays_positive_and_finite(accel_pattern, initial):
+    cc = ABCWindowControl(initial_cwnd=initial, dual_window=False)
+    now = 0.0
+    for accel in accel_pattern:
+        cc.on_ack(AckFeedback(now=now, rtt=0.1, bytes_acked=MTU, accel=accel,
+                              ece=False, packets_in_flight=50))
+        now += 0.001
+    assert cc.w_abc >= cc.min_cwnd()
+    assert math.isfinite(cc.w_abc)
+    assert cc.cwnd() >= cc.min_cwnd()
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=60))
+def test_abc_window_cap_respects_in_flight(in_flight):
+    cc = ABCWindowControl(initial_cwnd=5.0)
+    cc.w_abc = 10_000.0
+    cc.cubic._cwnd = 10_000.0
+    cc.on_ack(AckFeedback(now=1.0, rtt=0.1, bytes_acked=MTU, accel=True,
+                          ece=False, packets_in_flight=in_flight))
+    cap = cc.params.window_cap_factor * (in_flight + 1)
+    assert cc.w_abc <= cap + 1e-9
+    assert cc.w_nonabc <= cap + 1e-9
+
+
+# ------------------------------------------------------------ estimators
+@SETTINGS
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                          st.integers(min_value=1, max_value=100_000)),
+                min_size=1, max_size=100))
+def test_rate_estimator_never_negative(samples):
+    est = WindowedRateEstimator(window=0.5)
+    last = 0.0
+    for t, size in sorted(samples):
+        est.add(t, size)
+        last = t
+    assert est.rate_bps(last) >= 0.0
+
+
+@SETTINGS
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=200))
+def test_windowed_minmax_invariants(values):
+    w_max = WindowedMinMax(window=1e9, mode="max")
+    w_min = WindowedMinMax(window=1e9, mode="min")
+    for i, v in enumerate(values):
+        w_max.update(float(i), v)
+        w_min.update(float(i), v)
+    assert w_max.get() == max(values)
+    assert w_min.get() == min(values)
+
+
+# ------------------------------------------------------------ queues
+@SETTINGS
+@given(st.lists(st.integers(min_value=40, max_value=3000), min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=100))
+def test_fifo_conservation(sizes, buffer_packets):
+    q = FifoQdisc(buffer_packets=buffer_packets)
+    accepted = 0
+    for i, size in enumerate(sizes):
+        if q.enqueue(Packet(flow_id=0, seq=i, size=size), 0.0):
+            accepted += 1
+    dequeued = 0
+    while q.dequeue(1.0) is not None:
+        dequeued += 1
+    assert accepted == dequeued
+    assert accepted + q.dropped_packets == len(sizes)
+    assert q.backlog_bytes == 0 and q.backlog_packets == 0
+
+
+# ------------------------------------------------------------ allocation
+@SETTINGS
+@given(st.dictionaries(st.integers(min_value=0, max_value=20),
+                       st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=20),
+       st.floats(min_value=0.0, max_value=200.0))
+def test_max_min_allocation_invariants(demands, capacity):
+    allocation = max_min_allocation(demands, capacity)
+    assert sum(allocation.values()) <= capacity + 1e-6
+    for key, value in allocation.items():
+        assert -1e-9 <= value <= max(demands[key], 0.0) + 1e-6
+
+
+@SETTINGS
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_jain_index_bounds(allocations):
+    index = jain_fairness_index(allocations)
+    assert 1.0 / len(allocations) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+# ------------------------------------------------------------ Space-Saving
+@SETTINGS
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=30),
+                          st.integers(min_value=1, max_value=1000)),
+                min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=16))
+def test_space_saving_never_underestimates_and_bounded(updates, capacity):
+    ss = SpaceSaving(capacity=capacity)
+    true_counts = {}
+    for key, amount in updates:
+        ss.update(key, amount)
+        true_counts[key] = true_counts.get(key, 0) + amount
+    assert len(ss) <= capacity
+    for key in ss.tracked_keys():
+        assert ss.estimate(key) + 1e-9 >= true_counts.get(key, 0)
+
+
+# ------------------------------------------------------------ fluid model
+@SETTINGS
+@given(st.floats(min_value=0.07, max_value=0.5),
+       st.integers(min_value=0, max_value=30),
+       st.floats(min_value=0.0, max_value=0.5))
+def test_fluid_model_queue_nonnegative_and_bounded(delta, flows, initial):
+    model = FluidModel(params=ABCParams(delta=delta), tau=0.05,
+                       num_flows=flows, capacity_bps=20e6)
+    result = model.simulate(duration=5.0, step=5e-3, initial_delay=initial)
+    assert (result.queuing_delay >= 0.0).all()
+    assert (result.queuing_delay <= max(initial, result.fixed_point) + 1.0).all()

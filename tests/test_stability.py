@@ -1,0 +1,102 @@
+"""Tests for the fluid model and Theorem 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ABCParams
+from repro.core.stability import (FluidModel, is_theoretically_stable,
+                                  stability_threshold)
+
+
+def test_stability_threshold_formula():
+    assert stability_threshold(0.1) == pytest.approx(2.0 / 30.0)
+    assert stability_threshold(0.0) == 0.0
+    with pytest.raises(ValueError):
+        stability_threshold(-1.0)
+
+
+def test_paper_default_parameters_are_stable():
+    """δ = 133 ms with τ = 100 ms satisfies δ > 2τ/3 (§3.1.4)."""
+    assert is_theoretically_stable(0.133, 0.1)
+    assert not is_theoretically_stable(0.05, 0.1)
+
+
+def test_fluid_model_validation():
+    with pytest.raises(ValueError):
+        FluidModel(tau=0.0)
+    with pytest.raises(ValueError):
+        FluidModel(capacity_bps=0.0)
+    model = FluidModel(tau=0.1)
+    with pytest.raises(ValueError):
+        model.simulate(step=0.2)  # step must be < tau
+    with pytest.raises(ValueError):
+        model.simulate(duration=0.0)
+
+
+def test_drift_sign_depends_on_flow_count():
+    # With no flows the additive-increase term vanishes and A = eta - 1 < 0.
+    assert FluidModel(num_flows=0).drift < 0
+    # With many flows on a slow link, A > 0.
+    assert FluidModel(num_flows=50, capacity_bps=5e6).drift > 0
+
+
+def test_fixed_point_zero_when_drift_negative():
+    model = FluidModel(num_flows=0)
+    assert model.fixed_point() == 0.0
+    assert model.equilibrium_rate_fraction() <= 1.0
+
+
+def test_fixed_point_formula_when_drift_positive():
+    params = ABCParams(delta=0.133, delay_threshold=0.02)
+    model = FluidModel(params=params, num_flows=20, capacity_bps=5e6, tau=0.1)
+    a = model.drift
+    assert model.fixed_point() == pytest.approx(a * 0.133 + 0.02)
+    assert model.equilibrium_rate_fraction() == 1.0
+
+
+def test_fluid_model_converges_when_stable():
+    params = ABCParams(delta=0.133)
+    model = FluidModel(params=params, tau=0.1, num_flows=10, capacity_bps=10e6)
+    result = model.simulate(duration=30.0, initial_delay=0.4)
+    assert result.converged
+    assert result.final_error < 5e-3
+
+
+def test_fluid_model_queue_stays_near_fixed_point():
+    model = FluidModel(params=ABCParams(delta=0.2), tau=0.1, num_flows=10,
+                       capacity_bps=10e6)
+    result = model.simulate(duration=40.0, initial_delay=0.0)
+    tail = result.queuing_delay[-1000:]
+    assert np.allclose(tail, result.fixed_point, atol=5e-3)
+
+
+def test_fluid_model_oscillates_when_delta_far_below_bound():
+    """Well below δ = 2τ/3 the loop over-corrects and keeps oscillating."""
+    stable = FluidModel(params=ABCParams(delta=0.133), tau=0.1, num_flows=10,
+                        capacity_bps=10e6)
+    unstable = FluidModel(params=ABCParams(delta=0.02), tau=0.1, num_flows=10,
+                          capacity_bps=10e6)
+    r_stable = stable.simulate(duration=40.0, initial_delay=0.4)
+    r_unstable = unstable.simulate(duration=40.0, initial_delay=0.4)
+    assert r_unstable.oscillation_amplitude > 5 * r_stable.oscillation_amplitude
+    assert not r_unstable.converged
+
+
+def test_queue_never_negative():
+    model = FluidModel(num_flows=0, tau=0.1)
+    result = model.simulate(duration=10.0, initial_delay=0.5)
+    assert np.all(result.queuing_delay >= 0.0)
+
+
+def test_empirical_stability_helper():
+    assert FluidModel(params=ABCParams(delta=0.133), tau=0.1,
+                      num_flows=10).empirical_stability(duration=30.0)
+
+
+def test_stability_sweep_experiment():
+    from repro.experiments.stability_eval import fluid_stability_sweep
+    sweep = fluid_stability_sweep(delta_over_tau=(0.2, 1.33), tau=0.1)
+    assert not sweep[0.2].theoretically_stable
+    assert sweep[1.33].theoretically_stable
+    assert sweep[1.33].fluid_converged
+    assert sweep[0.2].fluid_oscillation_s > sweep[1.33].fluid_oscillation_s
