@@ -8,7 +8,29 @@ each benchmark runs its workload exactly once (``rounds=1``).
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Sequence
+
+from repro.runtime import SweepExecutor
+
+
+def sweep_executor() -> SweepExecutor:
+    """The executor the sweep benchmarks share.
+
+    Honors ``REPRO_JOBS`` (worker count, default serial) and
+    ``REPRO_CACHE_DIR`` (on-disk result cache, default disabled), so the
+    recorded perf trajectory captures the parallel/cached speedups:
+    ``REPRO_JOBS=4 pytest benchmarks/ --benchmark-only`` fans each sweep out
+    over four workers.
+    """
+    return SweepExecutor()
+
+
+def print_executor_stats(executor: SweepExecutor) -> None:
+    stats = executor.last_stats
+    print(f"  [executor] workers={stats.workers} total={stats.total} "
+          f"executed={stats.executed} cache_hits={stats.cache_hits} "
+          f"wall={stats.wall_seconds:.2f}s")
 
 
 def run_once(benchmark, func, *args, **kwargs):

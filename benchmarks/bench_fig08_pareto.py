@@ -1,16 +1,20 @@
 """Fig. 8 — utilisation vs 95th-percentile delay scatter (downlink, uplink,
 uplink+downlink), with the Pareto-frontier check."""
 
-from _util import print_table, run_once
+from _util import print_executor_stats, print_table, run_once, sweep_executor
 
 from repro.experiments.pareto import fig8_pareto
 
 SCHEMES = ("abc", "cubic", "cubic+codel", "copa", "vegas", "bbr", "sprout",
            "verus", "pcc", "xcp")
 
+EXECUTOR = sweep_executor()
+
 
 def test_fig8_pareto_scatter(benchmark):
-    panels = run_once(benchmark, fig8_pareto, schemes=SCHEMES, duration=15.0)
+    panels = run_once(benchmark, fig8_pareto, schemes=SCHEMES, duration=15.0,
+                      executor=EXECUTOR)
+    print_executor_stats(EXECUTOR)
     for label, scatter in panels.items():
         rows = [{
             "scheme": p.scheme,

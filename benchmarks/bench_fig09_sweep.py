@@ -1,18 +1,23 @@
 """Fig. 9 — utilisation and 95th-percentile delay across the eight-trace set,
 plus the §1 summary table (Table 1) normalised to ABC."""
 
-from _util import BENCH_SCHEMES, print_table, run_once
+from _util import (BENCH_SCHEMES, print_executor_stats, print_table,
+                   run_once, sweep_executor)
 
 from repro.experiments.pareto import fig9_sweep, table1_summary
 from repro.experiments.runner import sweep_averages
 
 
+EXECUTOR = sweep_executor()
+
+
 def _sweep():
-    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0)
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, executor=EXECUTOR)
 
 
 def test_fig9_cellular_sweep(benchmark):
     sweep = run_once(benchmark, _sweep)
+    print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 9 — averages across 8 cellular traces", rows,
                 ["scheme", "utilization", "delay_p95_ms", "delay_mean_ms",

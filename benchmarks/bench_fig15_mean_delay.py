@@ -1,6 +1,6 @@
 """Fig. 15 (Appendix C) — mean per-packet delay across the trace set."""
 
-from _util import print_table, run_once
+from _util import print_executor_stats, print_table, run_once, sweep_executor
 
 from repro.experiments.pareto import fig9_sweep
 from repro.experiments.runner import sweep_averages
@@ -8,16 +8,20 @@ from repro.cellular.synthetic import synthetic_trace_set
 
 SCHEMES = ("abc", "xcpw", "cubic+codel", "copa", "vegas", "bbr", "cubic")
 
+EXECUTOR = sweep_executor()
+
 
 def _sweep():
     traces = synthetic_trace_set(duration=15.0, seed=1,
                                  names=["Verizon-LTE-1", "Verizon-LTE-2",
                                         "ATT-LTE-1", "TMobile-LTE-1"])
-    return fig9_sweep(schemes=SCHEMES, duration=15.0, traces=traces)
+    return fig9_sweep(schemes=SCHEMES, duration=15.0, traces=traces,
+                      executor=EXECUTOR)
 
 
 def test_fig15_mean_delay(benchmark):
     sweep = run_once(benchmark, _sweep)
+    print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 15 — mean per-packet delay (4-trace subset)", rows,
                 ["scheme", "utilization", "delay_mean_ms"])

@@ -1,21 +1,24 @@
 """Fig. 16 (Appendix D) — ABC against the explicit schemes (XCP, XCPw, RCP, VCP)."""
 
-from _util import print_table, run_once
+from _util import print_executor_stats, print_table, run_once, sweep_executor
 
 from repro.cellular.synthetic import synthetic_trace_set
 from repro.experiments.pareto import fig16_explicit
 from repro.experiments.runner import sweep_averages
+
+EXECUTOR = sweep_executor()
 
 
 def _sweep():
     traces = synthetic_trace_set(duration=15.0, seed=1,
                                  names=["Verizon-LTE-1", "Verizon-LTE-3",
                                         "ATT-LTE-1", "TMobile-LTE-2"])
-    return fig16_explicit(duration=15.0, traces=traces)
+    return fig16_explicit(duration=15.0, traces=traces, executor=EXECUTOR)
 
 
 def test_fig16_explicit_schemes(benchmark):
     sweep = run_once(benchmark, _sweep)
+    print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 16 — explicit schemes (4-trace subset)", rows,
                 ["scheme", "utilization", "delay_p95_ms", "queuing_p95_ms"])

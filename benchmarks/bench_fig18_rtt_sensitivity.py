@@ -1,16 +1,19 @@
 """Fig. 18 (Appendix E) — sensitivity to the propagation RTT."""
 
-from _util import print_table, run_once
+from _util import print_executor_stats, print_table, run_once, sweep_executor
 
 from repro.experiments.pareto import fig18_rtt_sensitivity
 
 SCHEMES = ("abc", "cubic+codel", "cubic", "bbr")
 RTTS = (0.02, 0.05, 0.1, 0.2)
 
+EXECUTOR = sweep_executor()
+
 
 def test_fig18_rtt_sensitivity(benchmark):
     results = run_once(benchmark, fig18_rtt_sensitivity, schemes=SCHEMES,
-                       rtts=RTTS, duration=15.0)
+                       rtts=RTTS, duration=15.0, executor=EXECUTOR)
+    print_executor_stats(EXECUTOR)
     rows = []
     for rtt, per_scheme in results.items():
         for scheme, res in per_scheme.items():

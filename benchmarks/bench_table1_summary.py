@@ -4,20 +4,25 @@ The full sweep also runs in ``bench_fig09_sweep.py``; this harness uses a
 smaller two-trace subset so the summary table can be regenerated quickly.
 """
 
-from _util import BENCH_SCHEMES, print_table, run_once
+from _util import (BENCH_SCHEMES, print_executor_stats, print_table,
+                   run_once, sweep_executor)
 
 from repro.cellular.synthetic import synthetic_trace_set
 from repro.experiments.pareto import fig9_sweep, table1_summary
+
+EXECUTOR = sweep_executor()
 
 
 def _small_sweep():
     traces = synthetic_trace_set(duration=15.0, seed=1,
                                  names=["Verizon-LTE-1", "TMobile-LTE-1"])
-    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, traces=traces)
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, traces=traces,
+                      executor=EXECUTOR)
 
 
 def test_table1_normalized_summary(benchmark):
     sweep = run_once(benchmark, _small_sweep)
+    print_executor_stats(EXECUTOR)
     table = table1_summary(sweep)
     print_table("Table 1 — normalised to ABC (2-trace subset)", table,
                 ["scheme", "norm_throughput", "norm_delay_p95"])

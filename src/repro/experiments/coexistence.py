@@ -27,6 +27,7 @@ from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
 from repro.core.coexistence import (DualQueueABCQdisc, MaxMinWeightController,
                                     ZombieListWeightController)
 from repro.core.params import ABCParams
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
 from repro.core.router import ABCRouterQdisc
 from repro.simulator.link import SteppedRate
 from repro.simulator.scenario import Scenario
@@ -251,10 +252,33 @@ def _run_shared_bottleneck(link_mbps: float, duration: float, rtt: float,
     )
 
 
+def coexistence_load_cell(load: float, strategy: str, link_mbps: float,
+                          duration: float, rtt: float, n_long: int,
+                          seed: int) -> CoexistenceResult:
+    """One offered-load cell of the Fig. 12 sweep.
+
+    The weight controller is built *inside* the cell from its ``strategy``
+    name, so the job's kwargs stay plain picklable values.
+    """
+    if strategy == "maxmin":
+        controller = MaxMinWeightController(interval=1.0)
+    elif strategy == "zombie":
+        controller = ZombieListWeightController(interval=1.0)
+    else:
+        raise ValueError("strategy must be 'maxmin' or 'zombie'")
+    return _run_shared_bottleneck(
+        link_mbps=link_mbps, duration=duration, rtt=rtt,
+        n_abc=n_long, n_cubic=n_long, controller=controller,
+        short_flow_load=load, seed=seed)
+
+
 def fig12_offered_load_sweep(loads: Sequence[float] = (0.0625, 0.125, 0.25, 0.5),
                              strategy: str = "maxmin", link_mbps: float = 24.0,
                              duration: float = 40.0, rtt: float = 0.1,
-                             n_long: int = 3, seed: int = 17
+                             n_long: int = 3, seed: int = 17,
+                             executor: Optional[SweepExecutor] = None,
+                             jobs: Optional[int] = None,
+                             cache_dir: Optional[str] = None
                              ) -> Dict[float, CoexistenceResult]:
     """Fig. 12: long ABC and Cubic flows plus Poisson short flows.
 
@@ -262,19 +286,16 @@ def fig12_offered_load_sweep(loads: Sequence[float] = (0.0625, 0.125, 0.25, 0.5)
     paper's approach) or ``"zombie"`` (RCP's flow-count equalisation, which
     over-serves the queue holding the short flows).
     """
-    out: Dict[float, CoexistenceResult] = {}
-    for load in loads:
-        if strategy == "maxmin":
-            controller = MaxMinWeightController(interval=1.0)
-        elif strategy == "zombie":
-            controller = ZombieListWeightController(interval=1.0)
-        else:
-            raise ValueError("strategy must be 'maxmin' or 'zombie'")
-        out[load] = _run_shared_bottleneck(
-            link_mbps=link_mbps, duration=duration, rtt=rtt,
-            n_abc=n_long, n_cubic=n_long, controller=controller,
-            short_flow_load=load, seed=seed)
-    return out
+    if strategy not in ("maxmin", "zombie"):
+        raise ValueError("strategy must be 'maxmin' or 'zombie'")
+    sweep_jobs = [SweepJob(func=coexistence_load_cell,
+                           kwargs=dict(load=load, strategy=strategy,
+                                       link_mbps=link_mbps, duration=duration,
+                                       rtt=rtt, n_long=n_long, seed=seed),
+                           label=f"fig12/{strategy}/load{load:g}")
+                  for load in loads]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    return dict(zip(loads, results))
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,10 @@ cellular links and report utilisation against per-packet delay:
   VCP).
 * Fig. 18 — sensitivity to the propagation RTT (20/50/100/200 ms).
 * Table 1 (§1) — throughput and delay normalised to ABC.
+
+Every sweep here fans out through :class:`repro.runtime.SweepExecutor`; pass
+``executor=`` (or ``jobs=``/``cache_dir=``) to parallelise or memoize the
+grid, or set ``REPRO_JOBS``/``REPRO_CACHE_DIR`` in the environment.
 """
 
 from __future__ import annotations
@@ -24,8 +28,9 @@ from repro.cellular.synthetic import synthetic_trace_set, uplink_downlink_pair
 from repro.cellular.trace import CellularTrace
 from repro.experiments.runner import (EXPLICIT_SCHEMES, SCHEME_NAMES,
                                       SingleBottleneckResult, normalized_table,
-                                      run_cellular_sweep, run_single_bottleneck,
-                                      sweep_averages)
+                                      run_cellular_sweep, sweep_averages)
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+from repro.runtime.spec import sweep_cell, validate_schemes
 
 #: Scheme subset used by default for the heavier sweeps (everything).
 DEFAULT_SCHEMES: Sequence[str] = SCHEME_NAMES
@@ -75,47 +80,59 @@ def _scatter_from_results(label: str,
 
 
 def fig8_pareto(schemes: Sequence[str] = DEFAULT_SCHEMES,
-                duration: float = 30.0, rtt: float = 0.1,
-                seed: int = 11) -> Dict[str, ParetoScatter]:
+                duration: float = 30.0, rtt: float = 0.1, seed: int = 11,
+                executor: Optional[SweepExecutor] = None,
+                jobs: Optional[int] = None,
+                cache_dir: Optional[str] = None) -> Dict[str, ParetoScatter]:
     """Reproduce Fig. 8: downlink, uplink and uplink+downlink scatters."""
+    schemes = list(schemes)
+    validate_schemes(schemes)
+    executor = get_executor(executor, jobs=jobs, cache_dir=cache_dir)
     uplink, downlink = uplink_downlink_pair(duration=duration, seed=seed)
+
+    panel_links = (("downlink", downlink, ()),
+                   ("uplink", uplink, ()),
+                   ("uplink+downlink", uplink, (downlink,)))
+    sweep_jobs = [SweepJob(func=sweep_cell,
+                           kwargs=dict(scheme=str(s).lower(), link_spec=link,
+                                       rtt=rtt, duration=duration,
+                                       extra_links=extras),
+                           label=f"{label}/{s}")
+                  for label, link, extras in panel_links for s in schemes]
+    results = executor.run(sweep_jobs)
+
     panels: Dict[str, ParetoScatter] = {}
-
-    downlink_results = {s: run_single_bottleneck(s, downlink, rtt=rtt,
-                                                 duration=duration)
-                        for s in schemes}
-    panels["downlink"] = _scatter_from_results("downlink", downlink_results)
-
-    uplink_results = {s: run_single_bottleneck(s, uplink, rtt=rtt,
-                                               duration=duration)
-                      for s in schemes}
-    panels["uplink"] = _scatter_from_results("uplink", uplink_results)
-
-    both_results = {s: run_single_bottleneck(s, uplink, rtt=rtt,
-                                             duration=duration,
-                                             extra_links=[downlink])
-                    for s in schemes}
-    panels["uplink+downlink"] = _scatter_from_results("uplink+downlink",
-                                                      both_results)
+    index = 0
+    for label, _, _ in panel_links:
+        per_scheme = {s: results[index + i] for i, s in enumerate(schemes)}
+        panels[label] = _scatter_from_results(label, per_scheme)
+        index += len(schemes)
     return panels
 
 
 def fig9_sweep(schemes: Sequence[str] = DEFAULT_SCHEMES,
                duration: float = 30.0, rtt: float = 0.1, seed: int = 1,
-               traces: Optional[Mapping[str, CellularTrace]] = None
+               traces: Optional[Mapping[str, CellularTrace]] = None,
+               executor: Optional[SweepExecutor] = None,
+               jobs: Optional[int] = None, cache_dir: Optional[str] = None
                ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
     """Reproduce Fig. 9 / Fig. 15: every scheme over the eight-trace set."""
     traces = traces if traces is not None else synthetic_trace_set(duration=duration,
                                                                    seed=seed)
-    return run_cellular_sweep(schemes, traces, rtt=rtt, duration=duration)
+    return run_cellular_sweep(schemes, traces, rtt=rtt, duration=duration,
+                              executor=executor, jobs=jobs,
+                              cache_dir=cache_dir)
 
 
 def fig16_explicit(duration: float = 30.0, rtt: float = 0.1, seed: int = 1,
-                   traces: Optional[Mapping[str, CellularTrace]] = None
+                   traces: Optional[Mapping[str, CellularTrace]] = None,
+                   executor: Optional[SweepExecutor] = None,
+                   jobs: Optional[int] = None, cache_dir: Optional[str] = None
                    ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
     """Reproduce Fig. 16: ABC against the explicit-feedback schemes."""
     return fig9_sweep(schemes=EXPLICIT_SCHEMES, duration=duration, rtt=rtt,
-                      seed=seed, traces=traces)
+                      seed=seed, traces=traces, executor=executor, jobs=jobs,
+                      cache_dir=cache_dir)
 
 
 def table1_summary(sweep: Mapping[str, Mapping[str, SingleBottleneckResult]]
@@ -129,14 +146,26 @@ def fig18_rtt_sensitivity(schemes: Sequence[str] = ("abc", "cubic+codel",
                                                     "vegas", "sprout", "xcpw"),
                           rtts: Sequence[float] = (0.02, 0.05, 0.1, 0.2),
                           duration: float = 30.0, seed: int = 5,
-                          trace: Optional[CellularTrace] = None
+                          trace: Optional[CellularTrace] = None,
+                          executor: Optional[SweepExecutor] = None,
+                          jobs: Optional[int] = None,
+                          cache_dir: Optional[str] = None
                           ) -> Dict[float, Dict[str, SingleBottleneckResult]]:
     """Reproduce Fig. 18: the same trace at several propagation RTTs."""
+    schemes = list(schemes)
+    validate_schemes(schemes)
+    executor = get_executor(executor, jobs=jobs, cache_dir=cache_dir)
     if trace is None:
         trace = synthetic_trace_set(duration=duration, seed=seed,
                                     names=["Verizon-LTE-1"])["Verizon-LTE-1"]
+    sweep_jobs = [SweepJob(func=sweep_cell,
+                           kwargs=dict(scheme=str(s).lower(), link_spec=trace,
+                                       rtt=rtt, duration=duration),
+                           label=f"rtt{rtt:g}/{s}")
+                  for rtt in rtts for s in schemes]
+    results = executor.run(sweep_jobs)
     out: Dict[float, Dict[str, SingleBottleneckResult]] = {}
-    for rtt in rtts:
-        out[rtt] = {s: run_single_bottleneck(s, trace, rtt=rtt, duration=duration)
-                    for s in schemes}
+    for i, rtt in enumerate(rtts):
+        out[rtt] = {s: results[i * len(schemes) + j]
+                    for j, s in enumerate(schemes)}
     return out

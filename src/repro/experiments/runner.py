@@ -7,6 +7,13 @@ bring their own router).  :func:`make_scheme` builds both halves from the
 scheme label used in the figures, and :func:`run_single_bottleneck` runs the
 standard one-flow-one-bottleneck cellular experiment (§6.2: 100 ms minimum
 RTT, 250-packet buffer).
+
+Sweeps (:func:`run_cellular_sweep`) route through
+:class:`repro.runtime.SweepExecutor`: every (scheme, trace) cell is an
+independent job that can run serially, on a ``multiprocessing`` pool
+(``REPRO_JOBS`` or the ``jobs=`` argument), or be replayed from the on-disk
+result cache (``REPRO_CACHE_DIR`` or ``cache_dir=``) with bit-identical
+metrics.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ from repro.core.params import ABCParams, CELLULAR_DEFAULTS
 from repro.core.pk_abc import PKABCRouterQdisc
 from repro.core.router import ABCRouterQdisc
 from repro.explicit import (RCPRouterQdisc, VCPRouterQdisc, XCPRouterQdisc)
+from repro.runtime.executor import SweepExecutor, get_executor
+from repro.runtime.spec import SweepSpec
 from repro.simulator.link import CapacityModel
 from repro.simulator.qdisc import Qdisc
 from repro.simulator.scenario import Scenario
@@ -45,14 +54,16 @@ class SchemeSpec:
     make_qdisc: Callable[[int], Qdisc]
 
 
-def make_scheme(name: str, buffer_packets: int = 250,
-                abc_params: Optional[ABCParams] = None,
-                seed: int = 0) -> SchemeSpec:
-    """Build the sender+qdisc pair for a paper scheme label."""
-    key = name.lower()
-    params = abc_params if abc_params is not None else CELLULAR_DEFAULTS
+def _scheme_table(params: ABCParams, seed: int = 0
+                  ) -> Dict[str, Tuple[Callable[[], CongestionControl],
+                                       Callable[[int], Qdisc]]]:
+    """The label → (sender factory, qdisc factory) dispatch table.
 
-    table: Dict[str, Tuple[Callable[[], CongestionControl], Callable[[int], Qdisc]]] = {
+    Single source of truth for scheme wiring: :func:`make_scheme` dispatches
+    through it and :func:`known_scheme_names` derives the valid labels from
+    its keys, so the two can never drift apart.
+    """
+    return {
         "abc": (lambda: make_cc("abc", params=params),
                 lambda b: ABCRouterQdisc(params=params, buffer_packets=b)),
         "pk-abc": (lambda: make_cc("abc", params=params),
@@ -89,6 +100,20 @@ def make_scheme(name: str, buffer_packets: int = 250,
         "vcp": (lambda: make_cc("vcp"),
                 lambda b: VCPRouterQdisc(buffer_packets=b)),
     }
+
+
+def known_scheme_names() -> frozenset:
+    """The set of scheme labels :func:`make_scheme` can build."""
+    return frozenset(_scheme_table(CELLULAR_DEFAULTS))
+
+
+def make_scheme(name: str, buffer_packets: int = 250,
+                abc_params: Optional[ABCParams] = None,
+                seed: int = 0) -> SchemeSpec:
+    """Build the sender+qdisc pair for a paper scheme label."""
+    key = name.lower()
+    params = abc_params if abc_params is not None else CELLULAR_DEFAULTS
+    table = _scheme_table(params, seed=seed)
     if key not in table:
         raise KeyError(f"unknown scheme {name!r}; available: {sorted(table)}")
     sender_factory, qdisc_factory = table[key]
@@ -176,30 +201,40 @@ def run_cellular_sweep(schemes: Sequence[str],
                        traces: Mapping[str, CellularTrace],
                        rtt: float = 0.1, duration: float = 30.0,
                        buffer_packets: int = 250,
-                       abc_params: Optional[ABCParams] = None
+                       abc_params: Optional[ABCParams] = None,
+                       executor: Optional[SweepExecutor] = None,
+                       jobs: Optional[int] = None,
+                       cache_dir: Optional[str] = None
                        ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
     """Run every scheme over every trace (the Fig. 9 / 15 / 16 sweep).
 
-    Returns ``results[scheme][trace_name]``.
+    Returns ``results[scheme][trace_name]``.  The grid executes through a
+    :class:`~repro.runtime.SweepExecutor` — pass one explicitly, or let
+    ``jobs``/``cache_dir`` (and the ``REPRO_JOBS``/``REPRO_CACHE_DIR``
+    environment variables) build one.  Raises :class:`ValueError` up front
+    for an unknown scheme label or an empty scheme/trace set.
     """
-    results: Dict[str, Dict[str, SingleBottleneckResult]] = {}
-    for scheme in schemes:
-        results[scheme] = {}
-        for trace_name, trace in traces.items():
-            results[scheme][trace_name] = run_single_bottleneck(
-                scheme, trace, rtt=rtt, duration=duration,
-                buffer_packets=buffer_packets, abc_params=abc_params)
-    return results
+    spec = SweepSpec(schemes=list(schemes), traces=dict(traces), rtt=rtt,
+                     duration=duration, buffer_packets=buffer_packets,
+                     abc_params=abc_params)
+    return spec.run(get_executor(executor, jobs=jobs, cache_dir=cache_dir))
 
 
 def sweep_averages(results: Mapping[str, Mapping[str, SingleBottleneckResult]]
                    ) -> List[dict]:
-    """Average utilisation/delay per scheme across traces (Fig. 9's bars)."""
+    """Average utilisation/delay per scheme across traces (Fig. 9's bars).
+
+    Raises :class:`ValueError` when ``results`` is empty or any scheme has an
+    empty trace set, instead of silently producing a partial table.
+    """
+    if not results:
+        raise ValueError("sweep_averages needs a non-empty results mapping")
     rows = []
     for scheme, per_trace in results.items():
         values = list(per_trace.values())
         if not values:
-            continue
+            raise ValueError(f"scheme {scheme!r} has an empty trace set; "
+                             "every scheme needs at least one trace result")
         n = len(values)
         rows.append({
             "scheme": scheme,

@@ -16,6 +16,7 @@ import numpy as np
 from repro.cellular.synthetic import lte_showcase_trace
 from repro.cellular.trace import CellularTrace
 from repro.experiments.runner import run_single_bottleneck
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
 from repro.simulator.link import SquareWaveRate
 
 
@@ -47,21 +48,41 @@ def _timeseries_from_result(result, bin_size: float) -> TimeSeries:
     )
 
 
+def timeseries_cell(scheme: str, link_spec, rtt: float, duration: float,
+                    buffer_packets: int = 250,
+                    bin_size: float = 0.5) -> TimeSeries:
+    """Run one scheme and bin its stats into a picklable :class:`TimeSeries`.
+
+    Module-level (and binning *inside* the job) so the live flow/scenario
+    objects never cross a process boundary when the sweep runs on a pool.
+    """
+    result = run_single_bottleneck(scheme, link_spec, rtt=rtt,
+                                   duration=duration,
+                                   buffer_packets=buffer_packets)
+    return _timeseries_from_result(result, bin_size)
+
+
 def fig1_timeseries(schemes: Sequence[str] = ("cubic", "verus", "cubic+codel", "abc"),
                     duration: float = 30.0, rtt: float = 0.1,
                     buffer_packets: int = 250, bin_size: float = 0.5,
-                    trace: Optional[CellularTrace] = None,
-                    seed: int = 7) -> Dict[str, TimeSeries]:
+                    trace: Optional[CellularTrace] = None, seed: int = 7,
+                    executor: Optional[SweepExecutor] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[str] = None) -> Dict[str, TimeSeries]:
     """Reproduce Fig. 1: each scheme over the same emulated LTE trace."""
     trace = trace if trace is not None else lte_showcase_trace(duration=duration,
                                                                seed=seed)
     capacity_times, capacity = trace.rate_timeseries(bin_size=bin_size)
-    out: Dict[str, TimeSeries] = {}
-    for scheme in schemes:
-        result = run_single_bottleneck(scheme, trace, rtt=rtt,
+    sweep_jobs = [SweepJob(func=timeseries_cell,
+                           kwargs=dict(scheme=s, link_spec=trace, rtt=rtt,
                                        duration=duration,
-                                       buffer_packets=buffer_packets)
-        series = _timeseries_from_result(result, bin_size)
+                                       buffer_packets=buffer_packets,
+                                       bin_size=bin_size),
+                           label=f"fig1/{s}")
+                  for s in schemes]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    out: Dict[str, TimeSeries] = {}
+    for scheme, series in zip(schemes, results):
         n = min(len(series.times), len(capacity))
         series.capacity_bps = capacity[:n]
         out[scheme] = series
@@ -71,16 +92,22 @@ def fig1_timeseries(schemes: Sequence[str] = ("cubic", "verus", "cubic+codel", "
 def fig17_square_wave(schemes: Sequence[str] = ("abc", "rcp", "xcpw"),
                       low_mbps: float = 12.0, high_mbps: float = 24.0,
                       half_period: float = 0.5, duration: float = 10.0,
-                      rtt: float = 0.1, bin_size: float = 0.25
-                      ) -> Dict[str, TimeSeries]:
+                      rtt: float = 0.1, bin_size: float = 0.25,
+                      executor: Optional[SweepExecutor] = None,
+                      jobs: Optional[int] = None,
+                      cache_dir: Optional[str] = None) -> Dict[str, TimeSeries]:
     """Reproduce Fig. 17: explicit schemes on a 12↔24 Mbit/s square wave."""
-    out: Dict[str, TimeSeries] = {}
-    for scheme in schemes:
-        capacity = SquareWaveRate(low_mbps * 1e6, high_mbps * 1e6, half_period)
-        result = run_single_bottleneck(scheme, capacity, rtt=rtt,
-                                       duration=duration)
-        out[scheme] = _timeseries_from_result(result, bin_size)
-    return out
+    sweep_jobs = [SweepJob(func=timeseries_cell,
+                           kwargs=dict(scheme=s,
+                                       link_spec=SquareWaveRate(
+                                           low_mbps * 1e6, high_mbps * 1e6,
+                                           half_period),
+                                       rtt=rtt, duration=duration,
+                                       bin_size=bin_size),
+                           label=f"fig17/{s}")
+                  for s in schemes]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    return dict(zip(schemes, results))
 
 
 def summarize_timeseries(series: Dict[str, TimeSeries]) -> list[dict]:

@@ -24,6 +24,7 @@ from repro.aqm import CoDelQdisc, DropTailQdisc
 from repro.cc import make_cc
 from repro.core.params import ABCParams, WIFI_DEFAULTS
 from repro.core.router import ABCRouterQdisc
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
 from repro.simulator.qdisc import FifoQdisc
 from repro.simulator.scenario import Scenario
 from repro.simulator.traffic import RateLimitedSource
@@ -111,36 +112,46 @@ class RatePredictionPoint:
         return abs(self.predicted_mbps - self.true_capacity_mbps) / self.true_capacity_mbps
 
 
+def rate_prediction_cell(mcs: int, fraction: float, duration: float,
+                         seed: int) -> RatePredictionPoint:
+    """One (MCS index, offered-load fraction) cell of the Fig. 5 grid."""
+    scenario = Scenario()
+    estimator = WiFiRateEstimator(max_batch_frames=32)
+    link = WiFiLink(scenario.env, mcs=FixedMCSSchedule(mcs),
+                    config=WiFiMacConfig(seed=seed),
+                    qdisc=FifoQdisc(buffer_packets=2000),
+                    estimator=estimator)
+    scenario.add_custom_link(link, name=f"wifi-{mcs}")
+    true_capacity = link.true_capacity_bps(0.0)
+    offered = fraction * true_capacity
+    source = RateLimitedSource(offered)
+    scenario.add_flow(make_cc("cubic"), [link], rtt=0.02, source=source)
+    scenario.run(duration)
+    raw = estimator.estimate_bps(duration, apply_cap=False)
+    capped = estimator.estimate_bps(duration, apply_cap=True)
+    return RatePredictionPoint(
+        mcs_index=mcs,
+        offered_load_mbps=offered / 1e6,
+        true_capacity_mbps=true_capacity / 1e6,
+        predicted_mbps=raw / 1e6,
+        capped_prediction_mbps=capped / 1e6,
+    )
+
+
 def fig5_rate_prediction(mcs_indices: Sequence[int] = (3, 5, 7),
                          load_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
-                         duration: float = 20.0, seed: int = 5
+                         duration: float = 20.0, seed: int = 5,
+                         executor: Optional[SweepExecutor] = None,
+                         jobs: Optional[int] = None,
+                         cache_dir: Optional[str] = None
                          ) -> List[RatePredictionPoint]:
     """Sweep offered load on three links and record estimator accuracy."""
-    points: List[RatePredictionPoint] = []
-    for mcs in mcs_indices:
-        for fraction in load_fractions:
-            scenario = Scenario()
-            estimator = WiFiRateEstimator(max_batch_frames=32)
-            link = WiFiLink(scenario.env, mcs=FixedMCSSchedule(mcs),
-                            config=WiFiMacConfig(seed=seed),
-                            qdisc=FifoQdisc(buffer_packets=2000),
-                            estimator=estimator)
-            scenario.add_custom_link(link, name=f"wifi-{mcs}")
-            true_capacity = link.true_capacity_bps(0.0)
-            offered = fraction * true_capacity
-            source = RateLimitedSource(offered)
-            scenario.add_flow(make_cc("cubic"), [link], rtt=0.02, source=source)
-            scenario.run(duration)
-            raw = estimator.estimate_bps(duration, apply_cap=False)
-            capped = estimator.estimate_bps(duration, apply_cap=True)
-            points.append(RatePredictionPoint(
-                mcs_index=mcs,
-                offered_load_mbps=offered / 1e6,
-                true_capacity_mbps=true_capacity / 1e6,
-                predicted_mbps=raw / 1e6,
-                capped_prediction_mbps=capped / 1e6,
-            ))
-    return points
+    sweep_jobs = [SweepJob(func=rate_prediction_cell,
+                           kwargs=dict(mcs=mcs, fraction=fraction,
+                                       duration=duration, seed=seed),
+                           label=f"fig5/mcs{mcs}/load{fraction:g}")
+                  for mcs in mcs_indices for fraction in load_fractions]
+    return get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -210,22 +221,31 @@ def _run_wifi_case(scheme: str, num_users: int, duration: float, rtt: float,
 def fig10_wifi(num_users: int = 1, duration: float = 45.0, rtt: float = 0.04,
                mcs_mode: str = "alternating", seed: int = 9,
                abc_delay_thresholds: Sequence[float] = (0.02, 0.06, 0.1),
-               baselines: Sequence[str] = WIFI_BASELINES
-               ) -> List[WiFiSchemeResult]:
+               baselines: Sequence[str] = WIFI_BASELINES,
+               executor: Optional[SweepExecutor] = None,
+               jobs: Optional[int] = None,
+               cache_dir: Optional[str] = None) -> List[WiFiSchemeResult]:
     """Reproduce Fig. 10 (alternating MCS) or Fig. 14 (``mcs_mode="brownian"``).
 
     Returns one row per scheme; ABC appears once per delay threshold with the
     scheme name ``abc_dt{ms}``.
     """
-    rows: List[WiFiSchemeResult] = []
-    for threshold in abc_delay_thresholds:
-        row = _run_wifi_case("abc", num_users, duration, rtt, mcs_mode, seed,
-                             abc_delay_threshold=threshold)
+    sweep_jobs = [SweepJob(func=_run_wifi_case,
+                           kwargs=dict(scheme="abc", num_users=num_users,
+                                       duration=duration, rtt=rtt,
+                                       mcs_mode=mcs_mode, seed=seed,
+                                       abc_delay_threshold=threshold),
+                           label=f"wifi/abc_dt{int(round(threshold * 1000))}")
+                  for threshold in abc_delay_thresholds]
+    sweep_jobs += [SweepJob(func=_run_wifi_case,
+                            kwargs=dict(scheme=scheme, num_users=num_users,
+                                        duration=duration, rtt=rtt,
+                                        mcs_mode=mcs_mode, seed=seed),
+                            label=f"wifi/{scheme}")
+                   for scheme in baselines]
+    rows = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    for threshold, row in zip(abc_delay_thresholds, rows):
         row.scheme = f"abc_dt{int(round(threshold * 1000))}"
-        rows.append(row)
-    for scheme in baselines:
-        rows.append(_run_wifi_case(scheme, num_users, duration, rtt,
-                                   mcs_mode, seed))
     return rows
 
 

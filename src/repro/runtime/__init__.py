@@ -1,0 +1,46 @@
+"""Sweep runtime: parallel execution + deterministic result caching.
+
+This subsystem turns the repository's figure sweeps into fleets of
+independent jobs:
+
+* :class:`~repro.runtime.spec.SweepSpec` — declarative schemes × traces ×
+  seeds × overrides grid that expands into jobs.
+* :class:`~repro.runtime.executor.SweepExecutor` — runs jobs serially or on
+  a ``multiprocessing`` pool (``REPRO_JOBS`` / ``jobs=`` knob) and memoizes
+  results in an on-disk content-addressed cache (``REPRO_CACHE_DIR`` /
+  ``cache_dir=`` knob).
+* :class:`~repro.runtime.cache.ResultCache` — the cache itself, keyed by
+  :func:`~repro.runtime.cache.stable_hash` of (job function, kwargs,
+  code-version salt).
+
+The invariant the rest of the repo relies on: a sweep's metrics are
+bit-for-bit identical whether executed serially, in parallel, or replayed
+from the cache.
+"""
+
+from repro.runtime.cache import (CACHE_DIR_ENV, CODE_VERSION_SALT, ResultCache,
+                                 effective_salt, stable_hash)
+from repro.runtime.executor import (JOBS_ENV, ExecutorStats, SweepExecutor,
+                                    SweepJob, get_executor,
+                                    resolve_worker_count)
+from repro.runtime.spec import (SweepCell, SweepSpec, strip_result, sweep_cell,
+                                validate_schemes)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CODE_VERSION_SALT",
+    "JOBS_ENV",
+    "ExecutorStats",
+    "ResultCache",
+    "SweepCell",
+    "SweepExecutor",
+    "SweepJob",
+    "SweepSpec",
+    "effective_salt",
+    "get_executor",
+    "resolve_worker_count",
+    "stable_hash",
+    "strip_result",
+    "sweep_cell",
+    "validate_schemes",
+]

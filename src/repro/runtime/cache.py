@@ -1,0 +1,189 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+Every sweep cell (one scheme on one trace with one seed and one set of
+parameter overrides) is identified by a *stable hash* of the job that
+produces it: the fully-qualified name of the job function, a canonical
+encoding of its keyword arguments, and a code-version salt.  Two processes
+(or two sessions days apart) that submit the same cell therefore compute the
+same key and share the cached value, and any change to the salt — or to the
+arguments, including the full content of a trace — invalidates the entry.
+
+Cache directory layout
+----------------------
+::
+
+    <cache_dir>/
+        ab/                       # first two hex chars of the key
+            ab3f...9c.pkl         # pickled job result, written atomically
+
+The value files are ordinary pickles of the job's return value (metric
+dataclasses, numpy arrays, plain containers).  Writes go through a temporary
+file in the same directory followed by :func:`os.replace`, so a crashed or
+concurrent writer can never leave a torn entry; unreadable entries are
+treated as misses and deleted lazily.
+
+The salt defaults to :data:`CODE_VERSION_SALT` (bump it when a simulator
+change intentionally alters results) and can be extended per-environment via
+``REPRO_CACHE_SALT``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+#: Bump whenever simulator semantics change in a way that alters metrics;
+#: stale cache entries from older code versions then miss instead of lying.
+CODE_VERSION_SALT = "repro-runtime-v1"
+
+#: Environment variable appended to the salt (e.g. per-branch caches).
+SALT_ENV = "REPRO_CACHE_SALT"
+
+#: Environment variable naming the default cache directory; when unset the
+#: cache is disabled unless a directory is passed explicitly.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def effective_salt(salt: Optional[str] = None) -> str:
+    """The code-version salt plus any ``REPRO_CACHE_SALT`` extension."""
+    base = CODE_VERSION_SALT if salt is None else salt
+    extra = os.environ.get(SALT_ENV, "")
+    return f"{base}:{extra}" if extra else base
+
+
+# ---------------------------------------------------------------------------
+# Stable hashing
+# ---------------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-encodable structure with a stable encoding.
+
+    Floats are encoded via :func:`repr` (shortest round-trippable form), so
+    bit-identical inputs hash identically and nothing is lost to formatting.
+    Dataclasses and plain objects are encoded as (class name, field dict);
+    numpy arrays as (dtype, shape, sha256 of the raw bytes).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["b", hashlib.sha256(bytes(obj)).hexdigest()]
+    if isinstance(obj, (list, tuple)):
+        return ["l", [_canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        return ["s", sorted(json.dumps(_canonical(i), sort_keys=True) for i in obj)]
+    if isinstance(obj, dict):
+        return ["d", sorted((str(k), _canonical(v)) for k, v in obj.items())]
+    if isinstance(obj, np.ndarray):
+        return ["nd", str(obj.dtype), list(obj.shape),
+                hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return _canonical(obj.item())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+        return ["dc", _type_name(obj), _canonical(fields)]
+    fingerprint = getattr(obj, "cache_fingerprint", None)
+    if callable(fingerprint):
+        return ["fp", _type_name(obj), _canonical(fingerprint())]
+    if hasattr(obj, "__dict__"):
+        return ["o", _type_name(obj), _canonical(vars(obj))]
+    return ["r", _type_name(obj), repr(obj)]
+
+
+def _type_name(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def stable_hash(obj: Any) -> str:
+    """A sha256 hex digest of ``obj``'s canonical encoding.
+
+    Stable across processes and Python invocations (no reliance on
+    ``hash()``/``id()``), which is what makes the cache content-addressed.
+    """
+    encoded = json.dumps(_canonical(obj), sort_keys=True,
+                         separators=(",", ":")).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """A content-addressed pickle store under ``root``.
+
+    Values are looked up and stored by the hex keys produced by
+    :func:`stable_hash`; the cache never inspects the values themselves.
+    """
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, OSError, AttributeError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (tempfile + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        path = self._path(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -1,0 +1,180 @@
+"""Parallel sweep execution with deterministic, cache-backed results.
+
+The experiment sweeps in this repository (Figs. 8/9/15/16/18, Table 1, the
+WiFi and coexistence grids) are embarrassingly parallel: every (scheme,
+trace, seed, overrides) cell is an independent single-process simulation.
+:class:`SweepExecutor` fans a list of :class:`SweepJob`\\ s out over a
+``multiprocessing`` pool, falls back to in-process serial execution when one
+worker is requested, and memoizes completed cells through
+:class:`~repro.runtime.cache.ResultCache`.
+
+Determinism contract
+--------------------
+Results are returned in job-submission order and each job runs in its own
+simulator instance with explicit seeds, so the returned metrics are
+bit-for-bit identical whether a sweep runs serially, in parallel, or is
+replayed from the cache.  ``tests/test_runtime_executor.py`` enforces this.
+
+Worker selection
+----------------
+``SweepExecutor(jobs=N)`` wins over the ``REPRO_JOBS`` environment variable,
+which wins over the serial default (1).  ``0`` or ``"auto"`` means one worker
+per CPU.  Job *functions* must be module-level callables and their kwargs
+picklable, because parallel workers receive them by reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.runtime.cache import (CACHE_DIR_ENV, ResultCache, effective_salt,
+                                 stable_hash)
+
+#: Environment variable selecting the worker count (``1`` = serial).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_worker_count(jobs: Optional[int | str] = None) -> int:
+    """Resolve the worker count from the API arg or ``REPRO_JOBS``."""
+    value: Any = jobs if jobs is not None else os.environ.get(JOBS_ENV, "1")
+    if isinstance(value, str):
+        value = value.strip().lower()
+        if value in ("", "auto"):
+            value = 0
+        else:
+            try:
+                value = int(value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer or 'auto', got {value!r}"
+                ) from exc
+    if value < 0:
+        raise ValueError(f"worker count must be >= 0, got {value}")
+    if value == 0:
+        value = os.cpu_count() or 1
+    return value
+
+
+@dataclass
+class SweepJob:
+    """One independent sweep cell: a module-level function plus kwargs.
+
+    ``label`` is purely cosmetic (progress/debug output); it does not enter
+    the cache key, so relabeling a job still hits its cached result.
+    """
+
+    func: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def cache_key(self, salt: str) -> str:
+        func_id = f"{self.func.__module__}.{self.func.__qualname__}"
+        return stable_hash([func_id, self.kwargs, salt])
+
+    def run(self) -> Any:
+        return self.func(**self.kwargs)
+
+
+def _execute_job(job: SweepJob) -> Any:
+    """Module-level trampoline so pool workers can unpickle it."""
+    return job.run()
+
+
+@dataclass
+class ExecutorStats:
+    """What the last :meth:`SweepExecutor.run` call actually did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+
+class SweepExecutor:
+    """Runs :class:`SweepJob` lists with optional parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` defers to ``REPRO_JOBS`` (default serial),
+        ``0``/``"auto"`` uses every CPU.
+    cache_dir:
+        Directory for the on-disk result cache.  ``None`` defers to
+        ``REPRO_CACHE_DIR``; when neither is set, caching is disabled.
+    salt:
+        Code-version salt mixed into every cache key (see
+        :mod:`repro.runtime.cache`).
+    """
+
+    def __init__(self, jobs: Optional[int | str] = None,
+                 cache_dir: Optional[os.PathLike | str] = None,
+                 salt: Optional[str] = None):
+        self.workers = resolve_worker_count(jobs)
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None)
+        self.salt = effective_salt(salt)
+        self.last_stats = ExecutorStats()
+
+    # ------------------------------------------------------------------ run
+    def run(self, jobs: Sequence[SweepJob]) -> List[Any]:
+        """Execute every job, returning results in submission order.
+
+        Cached cells are served without executing; the remainder run either
+        in-process (one worker) or on a ``multiprocessing`` pool.
+        """
+        jobs = list(jobs)
+        started = time.perf_counter()
+        results: List[Any] = [None] * len(jobs)
+        keys: List[Optional[str]] = [None] * len(jobs)
+        pending: List[int] = []
+        hits = 0
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[index] = job.cache_key(self.salt)
+                hit, value = self.cache.get(keys[index])
+                if hit:
+                    results[index] = value
+                    hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            outputs = self._execute([jobs[i] for i in pending])
+            for index, value in zip(pending, outputs):
+                results[index] = value
+                if self.cache is not None:
+                    self.cache.put(keys[index], value)
+
+        self.last_stats = ExecutorStats(
+            total=len(jobs), cache_hits=hits, executed=len(pending),
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started)
+        return results
+
+    def _execute(self, jobs: List[SweepJob]) -> List[Any]:
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [_execute_job(job) for job in jobs]
+        processes = min(self.workers, len(jobs))
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(_execute_job, jobs, chunksize=1)
+
+
+def get_executor(executor: Optional[SweepExecutor] = None,
+                 jobs: Optional[int | str] = None,
+                 cache_dir: Optional[os.PathLike | str] = None) -> SweepExecutor:
+    """Shared convenience for experiment entry points.
+
+    Returns ``executor`` unchanged when given one, otherwise builds a fresh
+    :class:`SweepExecutor` from the ``jobs``/``cache_dir`` knobs (and thus the
+    ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment defaults).
+    """
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs, cache_dir=cache_dir)

@@ -1,0 +1,167 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the axes of a figure-style sweep — schemes ×
+traces × seeds × parameter overrides — and expands into independent
+:class:`~repro.runtime.executor.SweepJob`\\ s, one per cell.  Each cell runs
+:func:`repro.experiments.runner.run_single_bottleneck` in its own simulator
+and returns a :class:`~repro.experiments.runner.SingleBottleneckResult`
+stripped to its picklable metrics, so cells can cross process boundaries and
+live in the on-disk cache.
+
+Example
+-------
+::
+
+    spec = SweepSpec(schemes=SCHEME_NAMES, traces=synthetic_trace_set(30.0),
+                     duration=30.0)
+    results = spec.run(SweepExecutor(jobs=4, cache_dir="~/.cache/repro"))
+    results["abc"]["Verizon-LTE-1"].utilization
+
+Validation happens at expansion time: an unknown scheme label or an empty
+trace/scheme axis raises :class:`ValueError` immediately instead of failing
+deep inside a half-finished sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+
+
+def sweep_cell(**kwargs) -> Any:
+    """Run one (scheme, trace, seed, overrides) cell.
+
+    Module-level so multiprocessing workers can import it by name.  Returns
+    the :class:`SingleBottleneckResult` with its ``extra`` dict reduced to
+    picklable values (the live ``Scenario``/flow objects are dropped,
+    ``per_link_utilization`` is kept).
+    """
+    from repro.experiments.runner import run_single_bottleneck
+
+    result = run_single_bottleneck(**kwargs)
+    return strip_result(result)
+
+
+def strip_result(result: Any) -> Any:
+    """Drop live simulator objects from a result's ``extra`` dict."""
+    extra = getattr(result, "extra", None)
+    if isinstance(extra, dict):
+        result.extra = {k: v for k, v in extra.items()
+                        if k == "per_link_utilization"}
+    return result
+
+
+def validate_schemes(schemes: Sequence[str]) -> List[str]:
+    """Check every label against the scheme registry; raise ``ValueError``.
+
+    Returns the normalised (lower-cased) labels on success.
+    """
+    from repro.experiments.runner import known_scheme_names
+
+    schemes = list(schemes)
+    if not schemes:
+        raise ValueError("sweep needs at least one scheme")
+    known = known_scheme_names()
+    unknown = [s for s in schemes if str(s).lower() not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown scheme label(s) {unknown!r}; known schemes: "
+            f"{sorted(known)}")
+    return [str(s).lower() for s in schemes]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """The coordinates of one job inside a :class:`SweepSpec` grid."""
+
+    scheme: str
+    trace: str
+    seed: int
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class SweepSpec:
+    """Axes of a scheme × trace (× seed × overrides) sweep.
+
+    ``traces`` maps display names to link specs (a
+    :class:`~repro.cellular.trace.CellularTrace`, a rate in bps, or a
+    :class:`~repro.simulator.link.CapacityModel`).  ``param_grid`` is an
+    extra axis of kwargs overrides applied on top of the base parameters —
+    e.g. ``[{"rtt": r} for r in rtts]`` reproduces the Fig. 18 RTT axis.
+    """
+
+    schemes: Sequence[str]
+    traces: Mapping[str, Any]
+    seeds: Sequence[int] = (0,)
+    rtt: float = 0.1
+    duration: float = 30.0
+    buffer_packets: int = 250
+    abc_params: Optional[Any] = None
+    warmup: float = 0.0
+    param_grid: Sequence[Mapping[str, Any]] = field(default_factory=lambda: ({},))
+
+    def validate(self) -> None:
+        validate_schemes(self.schemes)
+        if not self.traces:
+            raise ValueError("sweep needs a non-empty trace set")
+        if not self.seeds:
+            raise ValueError("sweep needs at least one seed")
+        if not self.param_grid:
+            raise ValueError("param_grid must contain at least one override "
+                             "mapping (use [{}] for no overrides)")
+
+    # ------------------------------------------------------------- expansion
+    def expand(self) -> Tuple[List[SweepCell], List[SweepJob]]:
+        """All cells in deterministic scheme→trace→seed→override order."""
+        self.validate()
+        cells: List[SweepCell] = []
+        jobs: List[SweepJob] = []
+        for scheme in self.schemes:
+            for trace_name, link_spec in self.traces.items():
+                for seed in self.seeds:
+                    for overrides in self.param_grid:
+                        # Normalise the label inside the job kwargs so a
+                        # mixed-case spelling hashes to the same cache key;
+                        # the cell keeps the caller's spelling so grouped
+                        # results stay keyed the way they were requested.
+                        kwargs = dict(
+                            scheme=str(scheme).lower(), link_spec=link_spec,
+                            rtt=self.rtt, duration=self.duration,
+                            buffer_packets=self.buffer_packets,
+                            abc_params=self.abc_params, warmup=self.warmup,
+                            seed=seed)
+                        kwargs.update(overrides)
+                        cells.append(SweepCell(
+                            scheme=str(scheme), trace=trace_name,
+                            seed=seed,
+                            overrides=tuple(sorted(overrides.items()))))
+                        jobs.append(SweepJob(
+                            func=sweep_cell, kwargs=kwargs,
+                            label=f"{scheme}/{trace_name}/seed{seed}"))
+        return cells, jobs
+
+    # ------------------------------------------------------------------ run
+    def run_cells(self, executor: Optional[SweepExecutor] = None
+                  ) -> List[Tuple[SweepCell, Any]]:
+        """Execute the grid; returns ``(cell, result)`` pairs in grid order."""
+        executor = get_executor(executor)
+        cells, jobs = self.expand()
+        return list(zip(cells, executor.run(jobs)))
+
+    def run(self, executor: Optional[SweepExecutor] = None
+            ) -> Dict[str, Dict[str, Any]]:
+        """Execute and group as ``results[scheme][trace]``.
+
+        Requires a single seed and a single override mapping (the common
+        figure-sweep shape); use :meth:`run_cells` for richer grids.
+        """
+        if len(self.seeds) != 1 or len(self.param_grid) != 1:
+            raise ValueError("SweepSpec.run() requires exactly one seed and "
+                             "one param_grid entry; use run_cells() instead")
+        grouped: Dict[str, Dict[str, Any]] = {}
+        for cell, result in self.run_cells(executor):
+            grouped.setdefault(cell.scheme, {})[cell.trace] = result
+        return grouped

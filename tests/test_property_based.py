@@ -35,6 +35,73 @@ def test_event_loop_processes_events_in_nondecreasing_time(delays):
     assert len(fired) == len(delays)
 
 
+#: Small palette with deliberate duplicates so generated schedules collide on
+#: identical timestamps, exercising the insertion-order tie-break.
+_TIE_TIMES = (0.0, 0.25, 0.25, 0.5, 1.0, 1.0)
+
+
+def _run_interleaved_schedule(ops):
+    """Replay a schedule of same-timestamp inserts, cancellations and nested
+    re-scheduling; returns (firing order, cancelled ids)."""
+    loop = EventLoop()
+    fired = []
+    handles = []
+    cancelled = set()
+
+    def make_callback(op_id, nest_delay):
+        def callback():
+            fired.append(op_id)
+            if nest_delay is not None:
+                # Nested event lands on an already-populated timestamp.
+                loop.schedule(nest_delay, fired.append, (op_id, "nested"))
+        return callback
+
+    for op_id, (time_idx, nested, cancel) in enumerate(ops):
+        delay = _TIE_TIMES[time_idx % len(_TIE_TIMES)]
+        handle = loop.schedule(delay, make_callback(op_id, 0.0 if nested else None))
+        handles.append(handle)
+        if cancel and handles:
+            victim = len(handles) // 2
+            handles[victim].cancel()
+            cancelled.add(victim)
+    loop.run()
+    return fired, cancelled
+
+
+@SETTINGS
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=11),
+                          st.booleans(), st.booleans()),
+                min_size=1, max_size=40))
+def test_event_loop_interleaved_schedule_is_deterministic(ops):
+    """Two identical runs fire callbacks in identical order (the property the
+    parallel sweep executor's bit-for-bit equivalence rests on)."""
+    first, cancelled_a = _run_interleaved_schedule(ops)
+    second, cancelled_b = _run_interleaved_schedule(ops)
+    assert first == second
+    assert cancelled_a == cancelled_b
+    # Cancelled events never fire, everything else fires exactly once.
+    fired_ids = [f for f in first if isinstance(f, int)]
+    assert set(fired_ids) == set(range(len(ops))) - cancelled_a
+    assert len(fired_ids) == len(set(fired_ids))
+
+
+@SETTINGS
+@given(st.lists(st.integers(min_value=0, max_value=11), min_size=2, max_size=30))
+def test_event_loop_ties_fire_in_insertion_order(time_indices):
+    loop = EventLoop()
+    fired = []
+    for op_id, time_idx in enumerate(time_indices):
+        loop.schedule(_TIE_TIMES[time_idx % len(_TIE_TIMES)],
+                      fired.append, op_id)
+    loop.run()
+    by_time = {}
+    for op_id in fired:
+        delay = _TIE_TIMES[time_indices[op_id] % len(_TIE_TIMES)]
+        by_time.setdefault(delay, []).append(op_id)
+    for same_time_ids in by_time.values():
+        assert same_time_ids == sorted(same_time_ids)
+
+
 # ------------------------------------------------------------ token bucket
 @SETTINGS
 @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=2000))

@@ -1,0 +1,255 @@
+"""Tests for the parallel sweep executor and its deterministic result cache.
+
+The load-bearing property: a sweep's metrics are bit-for-bit identical
+whether it runs serially, on a multiprocessing pool, or is replayed from the
+on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.core.params import ABCParams
+from repro.experiments.runner import run_cellular_sweep, sweep_averages
+from repro.runtime import (ResultCache, SweepExecutor, SweepJob, SweepSpec,
+                           resolve_worker_count, stable_hash)
+
+
+def _tiny_traces():
+    config = SyntheticTraceConfig(mean_rate_bps=10e6, min_rate_bps=2e6,
+                                  max_rate_bps=20e6, volatility=0.2,
+                                  outage_rate_per_s=0.0, name="exec-test")
+    return {
+        "t1": synthetic_trace(config, duration=3.0, seed=5),
+        "t2": synthetic_trace(config, duration=3.0, seed=6),
+    }
+
+
+def _metrics(result) -> tuple:
+    return (result.scheme, result.trace, result.throughput_bps,
+            result.utilization, result.delay_p95_ms, result.delay_mean_ms,
+            result.queuing_p95_ms, result.queuing_mean_ms, result.drops)
+
+
+def _spec(traces) -> SweepSpec:
+    return SweepSpec(schemes=["abc", "cubic"], traces=traces, duration=3.0)
+
+
+# Module-level so jobs survive pickling into pool workers.
+def _echo_job(value: int, delay: float = 0.0) -> int:
+    if delay:
+        time.sleep(delay)
+    return value
+
+
+# ---------------------------------------------------------------- equivalence
+def test_serial_parallel_cached_equivalence(tmp_path):
+    """Same SweepSpec -> identical metrics across all three backends."""
+    traces = _tiny_traces()
+    serial = _spec(traces).run(SweepExecutor(jobs=1))
+    parallel = _spec(traces).run(SweepExecutor(jobs=2))
+
+    cached_executor = SweepExecutor(jobs=2, cache_dir=tmp_path / "cache")
+    _spec(traces).run(cached_executor)          # populate
+    assert cached_executor.last_stats.executed == 4
+    replay = _spec(traces).run(cached_executor)  # replay
+    assert cached_executor.last_stats.executed == 0
+    assert cached_executor.last_stats.cache_hits == 4
+
+    for scheme in ("abc", "cubic"):
+        for trace in ("t1", "t2"):
+            expected = _metrics(serial[scheme][trace])
+            assert _metrics(parallel[scheme][trace]) == expected
+            assert _metrics(replay[scheme][trace]) == expected
+
+
+def test_parallel_results_preserve_submission_order():
+    jobs = [SweepJob(func=_echo_job,
+                     kwargs=dict(value=i, delay=0.05 if i == 0 else 0.0))
+            for i in range(4)]
+    assert SweepExecutor(jobs=2).run(jobs) == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------- cache
+def test_cache_hit_miss_and_invalidation(tmp_path):
+    executor = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    jobs = [SweepJob(func=_echo_job, kwargs=dict(value=7))]
+
+    assert executor.run(jobs) == [7]
+    assert executor.last_stats.executed == 1
+    assert executor.last_stats.cache_hits == 0
+
+    assert executor.run(jobs) == [7]
+    assert executor.last_stats.executed == 0
+    assert executor.last_stats.cache_hits == 1
+
+    key = jobs[0].cache_key(executor.salt)
+    assert executor.cache.contains(key)
+    assert executor.cache.invalidate(key)
+    assert not executor.cache.contains(key)
+    assert executor.run(jobs) == [7]
+    assert executor.last_stats.executed == 1
+
+    # Different kwargs -> different key -> miss.
+    other = [SweepJob(func=_echo_job, kwargs=dict(value=8))]
+    assert executor.run(other) == [8]
+    assert executor.last_stats.executed == 1
+
+
+def test_cache_salt_invalidates(tmp_path):
+    warm = SweepExecutor(jobs=1, cache_dir=tmp_path, salt="v1")
+    jobs = [SweepJob(func=_echo_job, kwargs=dict(value=1))]
+    warm.run(jobs)
+    warm.run(jobs)
+    assert warm.last_stats.cache_hits == 1
+
+    bumped = SweepExecutor(jobs=1, cache_dir=tmp_path, salt="v2")
+    bumped.run(jobs)
+    assert bumped.last_stats.cache_hits == 0
+    assert bumped.last_stats.executed == 1
+
+
+def test_cache_clear_and_corrupt_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ab" + "0" * 62, {"x": 1.5})
+    hit, value = cache.get("ab" + "0" * 62)
+    assert hit and value == {"x": 1.5}
+    assert len(cache) == 1
+
+    # A torn/corrupt entry reads as a miss and is removed.
+    path = cache._path("ab" + "0" * 62)
+    path.write_bytes(b"not a pickle")
+    hit, _ = cache.get("ab" + "0" * 62)
+    assert not hit
+    assert not path.exists()
+
+    cache.put("cd" + "1" * 62, [1, 2])
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_stable_hash_is_content_addressed():
+    traces = _tiny_traces()
+    same = synthetic_trace(
+        SyntheticTraceConfig(mean_rate_bps=10e6, min_rate_bps=2e6,
+                             max_rate_bps=20e6, volatility=0.2,
+                             outage_rate_per_s=0.0, name="exec-test"),
+        duration=3.0, seed=5)
+    assert stable_hash(traces["t1"]) == stable_hash(same)
+    assert stable_hash(traces["t1"]) != stable_hash(traces["t2"])
+    assert stable_hash(ABCParams()) == stable_hash(ABCParams())
+    assert stable_hash(ABCParams()) != stable_hash(
+        ABCParams().with_overrides(delta=0.123))
+    assert stable_hash(np.arange(4)) == stable_hash(np.arange(4))
+    assert stable_hash(np.arange(4)) != stable_hash(np.arange(5))
+    assert stable_hash({"a": 1, "b": 2.0}) == stable_hash({"b": 2.0, "a": 1})
+
+
+# ---------------------------------------------------------------- REPRO_JOBS
+def test_repro_jobs_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert SweepExecutor().workers == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert SweepExecutor().workers == 4
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert SweepExecutor().workers == (os.cpu_count() or 1)
+    monkeypatch.delenv("REPRO_JOBS")
+    assert SweepExecutor().workers == 1
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    with pytest.raises(ValueError):
+        SweepExecutor()
+
+
+def test_explicit_jobs_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "8")
+    assert SweepExecutor(jobs=2).workers == 2
+    assert resolve_worker_count(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_worker_count(-1)
+
+
+def test_repro_jobs_1_runs_in_process(monkeypatch):
+    """Serial fallback executes jobs in this very process."""
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    observed = []
+    jobs = [SweepJob(func=_echo_job, kwargs=dict(value=3))]
+    executor = SweepExecutor()
+    # Local (unpicklable-by-reference) callables only work in-process.
+    jobs.append(SweepJob(func=lambda: observed.append(os.getpid()) or 9,
+                         kwargs={}))
+    assert executor.run(jobs) == [3, 9]
+    assert observed == [os.getpid()]
+
+
+# ---------------------------------------------------------------- validation
+def test_run_cellular_sweep_rejects_unknown_scheme():
+    with pytest.raises(ValueError, match="unknown scheme label"):
+        run_cellular_sweep(["abc", "not-a-scheme"], _tiny_traces(),
+                           duration=1.0)
+
+
+def test_run_cellular_sweep_rejects_empty_axes():
+    with pytest.raises(ValueError, match="non-empty trace set"):
+        run_cellular_sweep(["abc"], {}, duration=1.0)
+    with pytest.raises(ValueError, match="at least one scheme"):
+        run_cellular_sweep([], _tiny_traces(), duration=1.0)
+
+
+def test_sweep_averages_rejects_empty_inputs():
+    with pytest.raises(ValueError, match="non-empty results"):
+        sweep_averages({})
+    with pytest.raises(ValueError, match="empty trace set"):
+        sweep_averages({"abc": {}})
+
+
+# ---------------------------------------------------------------- SweepSpec
+def test_sweep_spec_param_grid_and_ordering():
+    traces = _tiny_traces()
+    spec = SweepSpec(schemes=["abc"], traces={"t1": traces["t1"]},
+                     seeds=(0, 1), duration=3.0,
+                     param_grid=({"rtt": 0.05}, {"rtt": 0.1}))
+    cells, jobs = spec.expand()
+    assert len(cells) == len(jobs) == 4
+    assert [c.seed for c in cells] == [0, 0, 1, 1]
+    assert [dict(c.overrides)["rtt"] for c in cells] == [0.05, 0.1, 0.05, 0.1]
+    assert jobs[0].kwargs["rtt"] == 0.05
+
+    with pytest.raises(ValueError, match="exactly one seed"):
+        spec.run()
+
+
+def test_mixed_case_labels_keep_caller_keys_and_share_cache(tmp_path):
+    """Results stay keyed by the caller's spelling; the cache key does not
+    depend on label case (the cell normalises before hashing)."""
+    traces = {"t1": _tiny_traces()["t1"]}
+    executor = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    upper = run_cellular_sweep(["ABC"], traces, duration=3.0,
+                               executor=executor)
+    assert set(upper) == {"ABC"}
+    assert executor.last_stats.executed == 1
+
+    lower = run_cellular_sweep(["abc"], traces, duration=3.0,
+                               executor=executor)
+    assert set(lower) == {"abc"}
+    assert executor.last_stats.executed == 0
+    assert executor.last_stats.cache_hits == 1
+    assert _metrics(lower["abc"]["t1"]) == _metrics(upper["ABC"]["t1"])
+
+
+def test_sweep_spec_results_are_picklable():
+    """Cells strip live simulator objects so results cross process/cache."""
+    import pickle
+
+    traces = _tiny_traces()
+    results = SweepSpec(schemes=["abc"], traces={"t1": traces["t1"]},
+                        duration=3.0).run(SweepExecutor(jobs=1))
+    result = results["abc"]["t1"]
+    assert dataclasses.is_dataclass(result)
+    assert set(result.extra) <= {"per_link_utilization"}
+    pickle.loads(pickle.dumps(result))

@@ -1,0 +1,65 @@
+"""Golden regression tests pinning :func:`make_scheme` wiring.
+
+The sweep executor refactor routes every figure sweep through generic jobs,
+so a silent change to how a scheme label maps to (sender class, qdisc class,
+buffer size) would corrupt every downstream figure without any test noticing.
+This table pins the construction of all 14 paper schemes; update it only for
+an *intentional* wiring change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SCHEME_NAMES, make_scheme
+
+#: scheme label -> (sender class name, qdisc class name)
+GOLDEN_WIRING = {
+    "abc": ("ABCWindowControl", "ABCRouterQdisc"),
+    "xcp": ("XCPSender", "XCPRouterQdisc"),
+    "xcpw": ("XCPSender", "XCPRouterQdisc"),
+    "cubic+codel": ("Cubic", "CoDelQdisc"),
+    "cubic+pie": ("Cubic", "PIEQdisc"),
+    "copa": ("Copa", "DropTailQdisc"),
+    "sprout": ("Sprout", "DropTailQdisc"),
+    "vegas": ("Vegas", "DropTailQdisc"),
+    "verus": ("Verus", "DropTailQdisc"),
+    "bbr": ("BBR", "DropTailQdisc"),
+    "pcc": ("PCCVivace", "DropTailQdisc"),
+    "cubic": ("Cubic", "DropTailQdisc"),
+    "rcp": ("RCPSender", "RCPRouterQdisc"),
+    "vcp": ("VCPSender", "VCPRouterQdisc"),
+}
+
+
+def test_golden_table_covers_all_scheme_names():
+    assert set(GOLDEN_WIRING) == set(SCHEME_NAMES)
+    assert len(SCHEME_NAMES) == 14
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_scheme_wiring_matches_golden(name):
+    expected_sender, expected_qdisc = GOLDEN_WIRING[name]
+    spec = make_scheme(name)
+    assert spec.name == name
+    assert type(spec.make_sender()).__name__ == expected_sender
+    assert type(spec.make_qdisc(250)).__name__ == expected_qdisc
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_scheme_buffer_size_is_plumbed(name):
+    spec = make_scheme(name, buffer_packets=137)
+    assert spec.make_qdisc(137).buffer_packets == 137
+    # The default argument baked into make_qdisc follows buffer_packets too.
+    assert spec.make_qdisc().buffer_packets == 137
+
+
+def test_xcpw_is_the_wireless_xcp_variant():
+    assert make_scheme("xcpw").make_qdisc(250).wireless is True
+    assert make_scheme("xcp").make_qdisc(250).wireless is False
+
+
+def test_sender_factories_build_fresh_instances():
+    spec = make_scheme("cubic")
+    assert spec.make_sender() is not spec.make_sender()
+    assert spec.make_qdisc(250) is not spec.make_qdisc(250)
