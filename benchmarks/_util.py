@@ -8,22 +8,59 @@ each benchmark runs its workload exactly once (``rounds=1``).
 
 from __future__ import annotations
 
+import atexit
 import os
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
-from repro.runtime import SweepExecutor
+from repro.runtime import SweepExecutor, resolve_seeds
+
+
+_SHARED_EXECUTOR: SweepExecutor | None = None
 
 
 def sweep_executor() -> SweepExecutor:
-    """The executor the sweep benchmarks share.
+    """The one executor every sweep benchmark shares.
 
     Honors ``REPRO_JOBS`` (worker count, default serial) and
     ``REPRO_CACHE_DIR`` (on-disk result cache, default disabled), so the
     recorded perf trajectory captures the parallel/cached speedups:
     ``REPRO_JOBS=4 pytest benchmarks/ --benchmark-only`` fans each sweep out
-    over four workers.
+    over four workers.  The executor is a process-wide singleton opened in
+    persistent-pool mode, so every benchmark module reuses the same worker
+    pool instead of paying the spin-up cost per module (closed at exit).
     """
-    return SweepExecutor()
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is None:
+        _SHARED_EXECUTOR = SweepExecutor().open()
+        atexit.register(_SHARED_EXECUTOR.close)
+    return _SHARED_EXECUTOR
+
+
+def bench_seeds() -> tuple | None:
+    """The seed list the multi-seed benchmarks run with.
+
+    ``REPRO_SEEDS="1,2,3" pytest benchmarks/ --benchmark-only`` turns every
+    routed figure sweep into a statistical sweep whose tables carry 95 % CI
+    columns; unset, benchmarks reproduce the legacy single-seed point
+    estimates.
+    """
+    return resolve_seeds(None)
+
+
+def ci_columns(rows: Sequence[Mapping], columns: Sequence[str]) -> List[str]:
+    """Interleave ``<col>_ci95`` companions for columns that carry them.
+
+    Multi-seed ``sweep_averages`` rows hold a 95 % confidence half-width per
+    metric; single-seed rows do not, so the printed table keeps its legacy
+    shape unless seeds were requested.
+    """
+    rows = list(rows)
+    out: List[str] = []
+    for col in columns:
+        out.append(col)
+        if rows and f"{col}_ci95" in rows[0]:
+            out.append(f"{col}_ci95")
+    return out
 
 
 def print_executor_stats(executor: SweepExecutor) -> None:

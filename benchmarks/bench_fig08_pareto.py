@@ -1,7 +1,12 @@
 """Fig. 8 — utilisation vs 95th-percentile delay scatter (downlink, uplink,
-uplink+downlink), with the Pareto-frontier check."""
+uplink+downlink), with the Pareto-frontier check.
 
-from _util import print_executor_stats, print_table, run_once, sweep_executor
+Set ``REPRO_SEEDS="1,2,3"`` for the statistical variant: the uplink/downlink
+trace pair is regenerated per seed and every point is an across-seed mean
+with a ±CI column."""
+
+from _util import (bench_seeds, print_executor_stats, print_table, run_once,
+                   sweep_executor)
 
 from repro.experiments.pareto import fig8_pareto
 
@@ -9,21 +14,29 @@ SCHEMES = ("abc", "cubic", "cubic+codel", "copa", "vegas", "bbr", "sprout",
            "verus", "pcc", "xcp")
 
 EXECUTOR = sweep_executor()
+SEEDS = bench_seeds()
 
 
 def test_fig8_pareto_scatter(benchmark):
     panels = run_once(benchmark, fig8_pareto, schemes=SCHEMES, duration=15.0,
-                      executor=EXECUTOR)
+                      executor=EXECUTOR, seeds=SEEDS)
     print_executor_stats(EXECUTOR)
     for label, scatter in panels.items():
-        rows = [{
-            "scheme": p.scheme,
-            "delay_p95_ms": p.delay_p95_ms,
-            "utilization": p.utilization,
-            "throughput_mbps": p.throughput_mbps,
-        } for p in sorted(scatter.points, key=lambda p: p.delay_p95_ms)]
-        print_table(f"Fig. 8 ({label})", rows,
-                    ["scheme", "delay_p95_ms", "utilization", "throughput_mbps"])
+        multi = bool(scatter.point_stats)
+        rows = []
+        for p in sorted(scatter.points, key=lambda p: p.delay_p95_ms):
+            row = {"scheme": p.scheme, "delay_p95_ms": p.delay_p95_ms,
+                   "utilization": p.utilization,
+                   "throughput_mbps": p.throughput_mbps}
+            if multi:
+                stats = scatter.point_stats[p.scheme]
+                row["delay_p95_ms_ci95"] = stats["delay_p95_ms"].ci95
+                row["utilization_ci95"] = stats["utilization"].ci95
+            rows.append(row)
+        columns = ["scheme", "delay_p95_ms", "utilization", "throughput_mbps"]
+        if multi:
+            columns += ["delay_p95_ms_ci95", "utilization_ci95"]
+        print_table(f"Fig. 8 ({label})", rows, columns)
         print(f"  ABC outside prior-scheme Pareto frontier: "
               f"{scatter.abc_outside_frontier()}")
     assert panels["downlink"].abc_outside_frontier()

@@ -1,18 +1,24 @@
 """Fig. 9 — utilisation and 95th-percentile delay across the eight-trace set,
-plus the §1 summary table (Table 1) normalised to ABC."""
+plus the §1 summary table (Table 1) normalised to ABC.
 
-from _util import (BENCH_SCHEMES, print_executor_stats, print_table,
-                   run_once, sweep_executor)
+Set ``REPRO_SEEDS="1,2,3"`` to run the statistical variant: the trace set is
+regenerated per seed and every column gains a 95 % confidence half-width."""
+
+from _util import (BENCH_SCHEMES, bench_seeds, ci_columns,
+                   print_executor_stats, print_table, run_once,
+                   sweep_executor)
 
 from repro.experiments.pareto import fig9_sweep, table1_summary
 from repro.experiments.runner import sweep_averages
 
 
 EXECUTOR = sweep_executor()
+SEEDS = bench_seeds()
 
 
 def _sweep():
-    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, executor=EXECUTOR)
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, executor=EXECUTOR,
+                      seeds=SEEDS)
 
 
 def test_fig9_cellular_sweep(benchmark):
@@ -20,13 +26,14 @@ def test_fig9_cellular_sweep(benchmark):
     print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 9 — averages across 8 cellular traces", rows,
-                ["scheme", "utilization", "delay_p95_ms", "delay_mean_ms",
-                 "queuing_p95_ms"])
+                ci_columns(rows, ["scheme", "utilization", "delay_p95_ms",
+                                  "delay_mean_ms", "queuing_p95_ms"]))
     table = table1_summary(sweep)
     print_table("Table 1 (§1) — normalised to ABC", table,
                 ["scheme", "norm_throughput", "norm_delay_p95"])
     by_scheme = {row["scheme"]: row for row in rows}
     # Headline claims: ABC's utilisation beats Cubic+Codel's substantially,
-    # while Cubic/BBR pay with far higher delay.
+    # while Cubic/BBR pay with far higher delay.  Multi-seed runs check the
+    # same claims on across-seed means.
     assert by_scheme["abc"]["utilization"] > 1.2 * by_scheme["cubic+codel"]["utilization"]
     assert by_scheme["cubic"]["delay_p95_ms"] > 2.0 * by_scheme["abc"]["delay_p95_ms"]

@@ -1,22 +1,24 @@
-"""Fig. 15 (Appendix C) — mean per-packet delay across the trace set."""
+"""Fig. 15 (Appendix C) — mean per-packet delay across the trace set.
 
-from _util import print_executor_stats, print_table, run_once, sweep_executor
+Set ``REPRO_SEEDS="1,2,3"`` for the statistical variant (per-seed traces,
+95 % CI columns)."""
+
+from _util import (bench_seeds, ci_columns, print_executor_stats, print_table,
+                   run_once, sweep_executor)
 
 from repro.experiments.pareto import fig9_sweep
 from repro.experiments.runner import sweep_averages
-from repro.cellular.synthetic import synthetic_trace_set
 
 SCHEMES = ("abc", "xcpw", "cubic+codel", "copa", "vegas", "bbr", "cubic")
+TRACE_NAMES = ("Verizon-LTE-1", "Verizon-LTE-2", "ATT-LTE-1", "TMobile-LTE-1")
 
 EXECUTOR = sweep_executor()
+SEEDS = bench_seeds()
 
 
 def _sweep():
-    traces = synthetic_trace_set(duration=15.0, seed=1,
-                                 names=["Verizon-LTE-1", "Verizon-LTE-2",
-                                        "ATT-LTE-1", "TMobile-LTE-1"])
-    return fig9_sweep(schemes=SCHEMES, duration=15.0, traces=traces,
-                      executor=EXECUTOR)
+    return fig9_sweep(schemes=SCHEMES, duration=15.0,
+                      trace_names=TRACE_NAMES, executor=EXECUTOR, seeds=SEEDS)
 
 
 def test_fig15_mean_delay(benchmark):
@@ -24,7 +26,7 @@ def test_fig15_mean_delay(benchmark):
     print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 15 — mean per-packet delay (4-trace subset)", rows,
-                ["scheme", "utilization", "delay_mean_ms"])
+                ci_columns(rows, ["scheme", "utilization", "delay_mean_ms"]))
     by_scheme = {row["scheme"]: row for row in rows}
     assert by_scheme["cubic"]["delay_mean_ms"] > 1.5 * by_scheme["abc"]["delay_mean_ms"]
     assert by_scheme["bbr"]["delay_mean_ms"] > by_scheme["abc"]["delay_mean_ms"]

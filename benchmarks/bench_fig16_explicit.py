@@ -1,19 +1,23 @@
-"""Fig. 16 (Appendix D) — ABC against the explicit schemes (XCP, XCPw, RCP, VCP)."""
+"""Fig. 16 (Appendix D) — ABC against the explicit schemes (XCP, XCPw, RCP, VCP).
 
-from _util import print_executor_stats, print_table, run_once, sweep_executor
+Set ``REPRO_SEEDS="1,2,3"`` for the statistical variant (per-seed traces,
+95 % CI columns)."""
 
-from repro.cellular.synthetic import synthetic_trace_set
+from _util import (bench_seeds, ci_columns, print_executor_stats, print_table,
+                   run_once, sweep_executor)
+
 from repro.experiments.pareto import fig16_explicit
 from repro.experiments.runner import sweep_averages
 
+TRACE_NAMES = ("Verizon-LTE-1", "Verizon-LTE-3", "ATT-LTE-1", "TMobile-LTE-2")
+
 EXECUTOR = sweep_executor()
+SEEDS = bench_seeds()
 
 
 def _sweep():
-    traces = synthetic_trace_set(duration=15.0, seed=1,
-                                 names=["Verizon-LTE-1", "Verizon-LTE-3",
-                                        "ATT-LTE-1", "TMobile-LTE-2"])
-    return fig16_explicit(duration=15.0, traces=traces, executor=EXECUTOR)
+    return fig16_explicit(duration=15.0, trace_names=TRACE_NAMES,
+                          executor=EXECUTOR, seeds=SEEDS)
 
 
 def test_fig16_explicit_schemes(benchmark):
@@ -21,7 +25,8 @@ def test_fig16_explicit_schemes(benchmark):
     print_executor_stats(EXECUTOR)
     rows = sweep_averages(sweep)
     print_table("Fig. 16 — explicit schemes (4-trace subset)", rows,
-                ["scheme", "utilization", "delay_p95_ms", "queuing_p95_ms"])
+                ci_columns(rows, ["scheme", "utilization", "delay_p95_ms",
+                                  "queuing_p95_ms"]))
     by_scheme = {row["scheme"]: row for row in rows}
     # Appendix D: ABC ≈ XCPw in utilisation, clearly above RCP and VCP.
     assert by_scheme["abc"]["utilization"] > 1.1 * by_scheme["rcp"]["utilization"]

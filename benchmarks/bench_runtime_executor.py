@@ -1,10 +1,15 @@
-"""Sweep-executor benchmark: parallel fan-out and cached replay.
+"""Sweep-executor benchmark: parallel fan-out, cached replay, pool reuse.
 
 Runs the full Fig. 9 grid (all 14 schemes × 8 synthetic traces) three ways —
 serial, 4 workers, cached replay — and prints the wall-clock comparison.  On
 a ≥4-core machine the 4-worker sweep is expected to be ≥2× faster than the
 serial path; the cached replay must execute **zero** jobs and return metrics
 bit-for-bit identical to the serial run on every machine.
+
+The second benchmark runs a small fig9 grid repeatedly, once with a fresh
+executor per sweep (pool spin-up every time) and once on a context-managed
+executor whose pool persists across ``run()`` calls; the reused pool must
+return identical metrics and is expected to be measurably faster per sweep.
 """
 
 import os
@@ -17,6 +22,15 @@ from repro.runtime import SweepExecutor
 
 DURATION = 6.0
 
+#: Small-grid parameters for the pool-reuse comparison: the grid is cheap
+#: enough that per-sweep pool spin-up (~1 s of worker start-up) is a large
+#: fraction of the total, which is exactly the regime pool reuse targets.
+SMALL_DURATION = 3.0
+SMALL_SCHEMES = ("abc", "cubic")
+SMALL_TRACES = ("Verizon-LTE-1", "Verizon-LTE-2", "ATT-LTE-1",
+                "TMobile-LTE-1")
+REUSE_ROUNDS = 3
+
 
 def _metrics(result):
     return (result.throughput_bps, result.utilization, result.delay_p95_ms,
@@ -24,7 +38,12 @@ def _metrics(result):
             result.queuing_mean_ms, result.drops)
 
 
-def test_executor_parallel_and_cached_sweep(benchmark, tmp_path):
+def test_executor_parallel_and_cached_sweep(benchmark, tmp_path, monkeypatch):
+    # This benchmark measures the executor itself; a REPRO_CACHE_DIR or
+    # REPRO_SEEDS inherited from the environment would change what "serial"
+    # and "cached replay" mean, so pin both.
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SEEDS", raising=False)
     traces = synthetic_trace_set(duration=DURATION, seed=1)
 
     serial = SweepExecutor(jobs=1)
@@ -72,3 +91,61 @@ def test_executor_parallel_and_cached_sweep(benchmark, tmp_path):
     # not gated (a timing artifact should not fail the build).
     if (os.cpu_count() or 1) >= 4 and not os.environ.get("CI"):
         assert speedup >= 2.0
+
+
+def test_pool_reuse_beats_per_sweep_spinup(benchmark, monkeypatch):
+    """Reused-pool executor vs per-sweep pool spin-up on the fig9 grid."""
+    # A cache inherited via REPRO_CACHE_DIR would serve every sweep from
+    # disk (no pool ever starts, pool_reused stays False); REPRO_SEEDS would
+    # change the grid.  Both would invalidate the comparison.
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SEEDS", raising=False)
+    traces = synthetic_trace_set(duration=SMALL_DURATION, seed=1,
+                                 names=list(SMALL_TRACES))
+
+    def _sweep(executor):
+        return run_cellular_sweep(SMALL_SCHEMES, traces,
+                                  duration=SMALL_DURATION, executor=executor)
+
+    def compare():
+        fresh_walls, reused_walls = [], []
+        for _ in range(REUSE_ROUNDS):
+            fresh = SweepExecutor(jobs=4)        # new pool for every sweep
+            fresh_sweep = _sweep(fresh)
+            fresh_walls.append(fresh.last_stats.wall_seconds)
+        with SweepExecutor(jobs=4) as reused:
+            _sweep(reused)                       # pool spin-up paid once here
+            for _ in range(REUSE_ROUNDS):
+                reused_sweep = _sweep(reused)
+                assert reused.last_stats.pool_reused
+                reused_walls.append(reused.last_stats.wall_seconds)
+        return fresh_walls, reused_walls, fresh_sweep, reused_sweep
+
+    fresh_walls, reused_walls, fresh_sweep, reused_sweep = run_once(benchmark,
+                                                                    compare)
+
+    fresh_mean = sum(fresh_walls) / len(fresh_walls)
+    reused_mean = sum(reused_walls) / len(reused_walls)
+    rows = [
+        {"backend": "fresh pool per sweep", "mean_wall_s": fresh_mean,
+         "sweeps": REUSE_ROUNDS},
+        {"backend": "reused pool", "mean_wall_s": reused_mean,
+         "sweeps": REUSE_ROUNDS},
+    ]
+    cells = len(SMALL_SCHEMES) * len(SMALL_TRACES)
+    print_table(f"Pool reuse — fig9 grid subset ({cells} cells, "
+                f"{SMALL_DURATION:g}s each, 4 workers)",
+                rows, ["backend", "mean_wall_s", "sweeps"])
+    saved = fresh_mean - reused_mean
+    print(f"  spin-up saved per sweep: {saved:.2f}s "
+          f"({fresh_mean / reused_mean:.2f}x)" if reused_mean else "")
+
+    # Determinism: the reused pool returns the same metrics as fresh pools.
+    for scheme in SMALL_SCHEMES:
+        for trace_name in traces:
+            assert (_metrics(reused_sweep[scheme][trace_name])
+                    == _metrics(fresh_sweep[scheme][trace_name]))
+
+    # Timing gate only where the comparison is meaningful (see above).
+    if (os.cpu_count() or 1) >= 4 and not os.environ.get("CI"):
+        assert reused_mean < fresh_mean

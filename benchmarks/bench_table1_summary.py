@@ -2,22 +2,24 @@
 
 The full sweep also runs in ``bench_fig09_sweep.py``; this harness uses a
 smaller two-trace subset so the summary table can be regenerated quickly.
+Set ``REPRO_SEEDS="1,2,3"`` to normalise across-seed means instead of a
+single-seed point estimate.
 """
 
-from _util import (BENCH_SCHEMES, print_executor_stats, print_table,
-                   run_once, sweep_executor)
+from _util import (BENCH_SCHEMES, bench_seeds, print_executor_stats,
+                   print_table, run_once, sweep_executor)
 
-from repro.cellular.synthetic import synthetic_trace_set
 from repro.experiments.pareto import fig9_sweep, table1_summary
 
+TRACE_NAMES = ("Verizon-LTE-1", "TMobile-LTE-1")
+
 EXECUTOR = sweep_executor()
+SEEDS = bench_seeds()
 
 
 def _small_sweep():
-    traces = synthetic_trace_set(duration=15.0, seed=1,
-                                 names=["Verizon-LTE-1", "TMobile-LTE-1"])
-    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0, traces=traces,
-                      executor=EXECUTOR)
+    return fig9_sweep(schemes=BENCH_SCHEMES, duration=15.0,
+                      trace_names=TRACE_NAMES, executor=EXECUTOR, seeds=SEEDS)
 
 
 def test_table1_normalized_summary(benchmark):

@@ -21,13 +21,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.stats import SeedResultSet, split_by_seed
 from repro.aqm import DropTailQdisc
 from repro.cc import make_cc
 from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
 from repro.core.coexistence import (DualQueueABCQdisc, MaxMinWeightController,
                                     ZombieListWeightController)
 from repro.core.params import ABCParams
-from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+from repro.runtime.executor import (SweepExecutor, SweepJob, get_executor,
+                                    resolve_seeds)
 from repro.core.router import ABCRouterQdisc
 from repro.simulator.link import SteppedRate
 from repro.simulator.scenario import Scenario
@@ -272,30 +274,55 @@ def coexistence_load_cell(load: float, strategy: str, link_mbps: float,
         short_flow_load=load, seed=seed)
 
 
+def coexistence_metrics(result: CoexistenceResult) -> Dict[str, float]:
+    """The Fig. 12 metrics aggregated across seeds (properties included)."""
+    return {
+        "mean_abc_mbps": result.mean_abc_mbps,
+        "mean_cubic_mbps": result.mean_cubic_mbps,
+        "throughput_gap": result.throughput_gap,
+        "abc_queuing_p95_ms": result.abc_queuing_p95_ms,
+        "cubic_queuing_p95_ms": result.cubic_queuing_p95_ms,
+    }
+
+
 def fig12_offered_load_sweep(loads: Sequence[float] = (0.0625, 0.125, 0.25, 0.5),
                              strategy: str = "maxmin", link_mbps: float = 24.0,
                              duration: float = 40.0, rtt: float = 0.1,
                              n_long: int = 3, seed: int = 17,
                              executor: Optional[SweepExecutor] = None,
                              jobs: Optional[int] = None,
-                             cache_dir: Optional[str] = None
+                             cache_dir: Optional[str] = None,
+                             seeds: Optional[Sequence[int]] = None
                              ) -> Dict[float, CoexistenceResult]:
     """Fig. 12: long ABC and Cubic flows plus Poisson short flows.
 
     ``strategy`` selects the queue-weight controller: ``"maxmin"`` (the
     paper's approach) or ``"zombie"`` (RCP's flow-count equalisation, which
     over-serves the queue holding the short flows).
+
+    The seed drives the Poisson short-flow arrival process, so with multiple
+    ``seeds`` (argument or ``REPRO_SEEDS``) each load's value becomes a
+    :class:`~repro.analysis.stats.SeedResultSet` aggregating
+    :func:`coexistence_metrics` across arrival patterns; a single/default
+    seed returns the legacy per-load :class:`CoexistenceResult`.
     """
     if strategy not in ("maxmin", "zombie"):
         raise ValueError("strategy must be 'maxmin' or 'zombie'")
+    seeds = resolve_seeds(seeds)
+    seed_list = (seed,) if seeds is None else seeds
     sweep_jobs = [SweepJob(func=coexistence_load_cell,
                            kwargs=dict(load=load, strategy=strategy,
                                        link_mbps=link_mbps, duration=duration,
-                                       rtt=rtt, n_long=n_long, seed=seed),
-                           label=f"fig12/{strategy}/load{load:g}")
-                  for load in loads]
+                                       rtt=rtt, n_long=n_long, seed=s),
+                           label=f"fig12/{strategy}/seed{s}/load{load:g}")
+                  for s in seed_list for load in loads]
     results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
-    return dict(zip(loads, results))
+    if len(seed_list) == 1:
+        return dict(zip(loads, results))
+    groups = split_by_seed(results, len(seed_list))
+    return {load: SeedResultSet(seed_list, groups[j],
+                                metrics=coexistence_metrics)
+            for j, load in enumerate(loads)}
 
 
 # ---------------------------------------------------------------------------

@@ -9,18 +9,23 @@ standard one-flow-one-bottleneck cellular experiment (§6.2: 100 ms minimum
 RTT, 250-packet buffer).
 
 Sweeps (:func:`run_cellular_sweep`) route through
-:class:`repro.runtime.SweepExecutor`: every (scheme, trace) cell is an
+:class:`repro.runtime.SweepExecutor`: every (scheme, trace, seed) cell is an
 independent job that can run serially, on a ``multiprocessing`` pool
 (``REPRO_JOBS`` or the ``jobs=`` argument), or be replayed from the on-disk
 result cache (``REPRO_CACHE_DIR`` or ``cache_dir=``) with bit-identical
-metrics.
+metrics.  Passing ``seeds=[...]`` (or setting ``REPRO_SEEDS``) adds the
+statistical seed axis: each cell runs once per seed and the sweep returns
+:class:`~repro.analysis.stats.SeedResultSet` aggregates whose metric
+attributes are across-seed means with 95 % confidence intervals attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
+from repro.analysis.stats import SeedResultSet, aggregate_values
 from repro.aqm import CoDelQdisc, DropTailQdisc, PIEQdisc
 from repro.cc import make_cc
 from repro.cc.base import CongestionControl
@@ -29,7 +34,7 @@ from repro.core.params import ABCParams, CELLULAR_DEFAULTS
 from repro.core.pk_abc import PKABCRouterQdisc
 from repro.core.router import ABCRouterQdisc
 from repro.explicit import (RCPRouterQdisc, VCPRouterQdisc, XCPRouterQdisc)
-from repro.runtime.executor import SweepExecutor, get_executor
+from repro.runtime.executor import SweepExecutor, get_executor, resolve_seeds
 from repro.runtime.spec import SweepSpec
 from repro.simulator.link import CapacityModel
 from repro.simulator.qdisc import Qdisc
@@ -197,6 +202,23 @@ def run_single_bottleneck(scheme: str, link_spec: LinkSpec,
     )
 
 
+def group_seed_results(pairs: Sequence[Tuple[Any, Any]],
+                       seeds: Sequence[int]
+                       ) -> Dict[str, Dict[str, SeedResultSet]]:
+    """Group a multi-seed ``run_cells()`` output as ``out[scheme][trace]``.
+
+    Cells arrive in the grid's scheme→trace→seed order, so each (scheme,
+    trace) group collects its per-seed results already ordered by ``seeds``.
+    """
+    grouped: Dict[str, Dict[str, List[Any]]] = {}
+    for cell, result in pairs:
+        grouped.setdefault(cell.scheme, {}).setdefault(cell.trace,
+                                                       []).append(result)
+    return {scheme: {trace: SeedResultSet(seeds, results)
+                     for trace, results in per_trace.items()}
+            for scheme, per_trace in grouped.items()}
+
+
 def run_cellular_sweep(schemes: Sequence[str],
                        traces: Mapping[str, CellularTrace],
                        rtt: float = 0.1, duration: float = 30.0,
@@ -204,7 +226,8 @@ def run_cellular_sweep(schemes: Sequence[str],
                        abc_params: Optional[ABCParams] = None,
                        executor: Optional[SweepExecutor] = None,
                        jobs: Optional[int] = None,
-                       cache_dir: Optional[str] = None
+                       cache_dir: Optional[str] = None,
+                       seeds: Optional[Sequence[int]] = None
                        ) -> Dict[str, Dict[str, SingleBottleneckResult]]:
     """Run every scheme over every trace (the Fig. 9 / 15 / 16 sweep).
 
@@ -213,16 +236,43 @@ def run_cellular_sweep(schemes: Sequence[str],
     ``jobs``/``cache_dir`` (and the ``REPRO_JOBS``/``REPRO_CACHE_DIR``
     environment variables) build one.  Raises :class:`ValueError` up front
     for an unknown scheme label or an empty scheme/trace set.
+
+    ``seeds`` (argument, else the ``REPRO_SEEDS`` environment variable) adds
+    the statistical seed axis.  With a single seed the result values are
+    plain :class:`SingleBottleneckResult` objects, bit-for-bit identical to
+    the single-seed output (the default seed is 0, today's behaviour).  With
+    several seeds every cell runs once per seed and each value is a
+    :class:`~repro.analysis.stats.SeedResultSet` whose metric attributes are
+    across-seed means (full aggregates under ``.stats``).
     """
+    seeds = resolve_seeds(seeds)
     spec = SweepSpec(schemes=list(schemes), traces=dict(traces), rtt=rtt,
                      duration=duration, buffer_packets=buffer_packets,
-                     abc_params=abc_params)
-    return spec.run(get_executor(executor, jobs=jobs, cache_dir=cache_dir))
+                     abc_params=abc_params,
+                     seeds=seeds if seeds is not None else (0,))
+    executor = get_executor(executor, jobs=jobs, cache_dir=cache_dir)
+    if seeds is None or len(seeds) == 1:
+        return spec.run(executor)
+    return group_seed_results(spec.run_cells(executor), seeds)
+
+
+#: Metrics averaged across traces by :func:`sweep_averages`, in row order.
+AVERAGE_METRICS: Tuple[str, ...] = ("utilization", "delay_p95_ms",
+                                    "delay_mean_ms", "queuing_p95_ms",
+                                    "throughput_bps")
 
 
 def sweep_averages(results: Mapping[str, Mapping[str, SingleBottleneckResult]]
                    ) -> List[dict]:
     """Average utilisation/delay per scheme across traces (Fig. 9's bars).
+
+    Accepts both single-seed sweeps (values are
+    :class:`SingleBottleneckResult`) and multi-seed sweeps from
+    ``run_cellular_sweep(..., seeds=[...])`` (values are
+    :class:`~repro.analysis.stats.SeedResultSet`).  For a multi-seed sweep
+    each metric column holds the across-seed mean of the cross-trace average
+    and gains ``<metric>_ci95``/``<metric>_stdev`` companions (95 %
+    Student-t confidence half-width over seeds) plus an ``n_seeds`` column.
 
     Raises :class:`ValueError` when ``results`` is empty or any scheme has an
     empty trace set, instead of silently producing a partial table.
@@ -236,14 +286,25 @@ def sweep_averages(results: Mapping[str, Mapping[str, SingleBottleneckResult]]
             raise ValueError(f"scheme {scheme!r} has an empty trace set; "
                              "every scheme needs at least one trace result")
         n = len(values)
-        rows.append({
-            "scheme": scheme,
-            "utilization": sum(v.utilization for v in values) / n,
-            "delay_p95_ms": sum(v.delay_p95_ms for v in values) / n,
-            "delay_mean_ms": sum(v.delay_mean_ms for v in values) / n,
-            "queuing_p95_ms": sum(v.queuing_p95_ms for v in values) / n,
-            "throughput_bps": sum(v.throughput_bps for v in values) / n,
-        })
+        row: Dict[str, Any] = {"scheme": scheme}
+        multi_seed = (all(isinstance(v, SeedResultSet) for v in values)
+                      and len({v.seeds for v in values}) == 1
+                      and len(values[0].seeds) > 1)
+        if multi_seed:
+            seeds = values[0].seeds
+            row["n_seeds"] = len(seeds)
+            for metric in AVERAGE_METRICS:
+                per_seed_avgs = [
+                    sum(getattr(v.per_seed[i], metric) for v in values) / n
+                    for i in range(len(seeds))]
+                agg = aggregate_values(per_seed_avgs)
+                row[metric] = agg.mean
+                row[f"{metric}_ci95"] = agg.ci95
+                row[f"{metric}_stdev"] = agg.stdev
+        else:
+            for metric in AVERAGE_METRICS:
+                row[metric] = sum(getattr(v, metric) for v in values) / n
+        rows.append(row)
     return rows
 
 

@@ -20,11 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.stats import SeedResultSet, result_metrics, split_by_seed
 from repro.aqm import CoDelQdisc, DropTailQdisc
 from repro.cc import make_cc
 from repro.core.params import ABCParams, WIFI_DEFAULTS
 from repro.core.router import ABCRouterQdisc
-from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+from repro.runtime.executor import (SweepExecutor, SweepJob, get_executor,
+                                    resolve_seeds)
 from repro.simulator.qdisc import FifoQdisc
 from repro.simulator.scenario import Scenario
 from repro.simulator.traffic import RateLimitedSource
@@ -138,20 +140,43 @@ def rate_prediction_cell(mcs: int, fraction: float, duration: float,
     )
 
 
+def rate_prediction_metrics(point: RatePredictionPoint) -> Dict[str, float]:
+    """Numeric fields plus the derived relative error, for seed aggregation."""
+    metrics = result_metrics(point)
+    metrics["relative_error"] = point.relative_error
+    return metrics
+
+
 def fig5_rate_prediction(mcs_indices: Sequence[int] = (3, 5, 7),
                          load_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
                          duration: float = 20.0, seed: int = 5,
                          executor: Optional[SweepExecutor] = None,
                          jobs: Optional[int] = None,
-                         cache_dir: Optional[str] = None
+                         cache_dir: Optional[str] = None,
+                         seeds: Optional[Sequence[int]] = None
                          ) -> List[RatePredictionPoint]:
-    """Sweep offered load on three links and record estimator accuracy."""
+    """Sweep offered load on three links and record estimator accuracy.
+
+    With multiple ``seeds`` (argument or ``REPRO_SEEDS``) each (MCS, load)
+    point is run once per MAC-model seed and returned as a
+    :class:`~repro.analysis.stats.SeedResultSet` (attribute reads give the
+    across-seed mean; ``relative_error`` is aggregated too).
+    """
+    seeds = resolve_seeds(seeds)
+    seed_list = (seed,) if seeds is None else seeds
+    grid = [(mcs, fraction) for mcs in mcs_indices
+            for fraction in load_fractions]
     sweep_jobs = [SweepJob(func=rate_prediction_cell,
                            kwargs=dict(mcs=mcs, fraction=fraction,
-                                       duration=duration, seed=seed),
-                           label=f"fig5/mcs{mcs}/load{fraction:g}")
-                  for mcs in mcs_indices for fraction in load_fractions]
-    return get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+                                       duration=duration, seed=s),
+                           label=f"fig5/seed{s}/mcs{mcs}/load{fraction:g}")
+                  for s in seed_list for mcs, fraction in grid]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    if len(seed_list) == 1:
+        return results
+    return [SeedResultSet(seed_list, per_seed,
+                          metrics=rate_prediction_metrics)
+            for per_seed in split_by_seed(results, len(seed_list))]
 
 
 # ---------------------------------------------------------------------------
@@ -224,34 +249,58 @@ def fig10_wifi(num_users: int = 1, duration: float = 45.0, rtt: float = 0.04,
                baselines: Sequence[str] = WIFI_BASELINES,
                executor: Optional[SweepExecutor] = None,
                jobs: Optional[int] = None,
-               cache_dir: Optional[str] = None) -> List[WiFiSchemeResult]:
+               cache_dir: Optional[str] = None,
+               seeds: Optional[Sequence[int]] = None) -> List[WiFiSchemeResult]:
     """Reproduce Fig. 10 (alternating MCS) or Fig. 14 (``mcs_mode="brownian"``).
 
     Returns one row per scheme; ABC appears once per delay threshold with the
     scheme name ``abc_dt{ms}``.
+
+    The seed drives the WiFi MAC model (and the Brownian MCS walk), so with
+    multiple ``seeds`` (argument or ``REPRO_SEEDS``) each row becomes a
+    :class:`~repro.analysis.stats.SeedResultSet` across MAC realisations;
+    single/default seed returns the legacy point rows.
     """
-    sweep_jobs = [SweepJob(func=_run_wifi_case,
+    seeds = resolve_seeds(seeds)
+    seed_list = (seed,) if seeds is None else seeds
+
+    def _jobs_for(s: int) -> List[SweepJob]:
+        jobs_s = [SweepJob(func=_run_wifi_case,
                            kwargs=dict(scheme="abc", num_users=num_users,
                                        duration=duration, rtt=rtt,
-                                       mcs_mode=mcs_mode, seed=seed,
+                                       mcs_mode=mcs_mode, seed=s,
                                        abc_delay_threshold=threshold),
-                           label=f"wifi/abc_dt{int(round(threshold * 1000))}")
+                           label=f"wifi/seed{s}/"
+                                 f"abc_dt{int(round(threshold * 1000))}")
                   for threshold in abc_delay_thresholds]
-    sweep_jobs += [SweepJob(func=_run_wifi_case,
+        jobs_s += [SweepJob(func=_run_wifi_case,
                             kwargs=dict(scheme=scheme, num_users=num_users,
                                         duration=duration, rtt=rtt,
-                                        mcs_mode=mcs_mode, seed=seed),
-                            label=f"wifi/{scheme}")
+                                        mcs_mode=mcs_mode, seed=s),
+                            label=f"wifi/seed{s}/{scheme}")
                    for scheme in baselines]
-    rows = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+        return jobs_s
+
+    sweep_jobs = [job for s in seed_list for job in _jobs_for(s)]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+
+    rows: List[WiFiSchemeResult] = []
+    for per_seed in split_by_seed(results, len(seed_list)):
+        rows.append(per_seed[0] if len(seed_list) == 1
+                    else SeedResultSet(seed_list, per_seed))
     for threshold, row in zip(abc_delay_thresholds, rows):
-        row.scheme = f"abc_dt{int(round(threshold * 1000))}"
+        name = f"abc_dt{int(round(threshold * 1000))}"
+        if isinstance(row, SeedResultSet):
+            for res in row.per_seed:
+                res.scheme = name
+        row.scheme = name
     return rows
 
 
 def fig14_wifi_brownian(num_users: int = 1, duration: float = 45.0,
-                        rtt: float = 0.04, seed: int = 13
+                        rtt: float = 0.04, seed: int = 13,
+                        seeds: Optional[Sequence[int]] = None
                         ) -> List[WiFiSchemeResult]:
     """Appendix B variant of the WiFi experiment (Brownian MCS walk)."""
     return fig10_wifi(num_users=num_users, duration=duration, rtt=rtt,
-                      mcs_mode="brownian", seed=seed)
+                      mcs_mode="brownian", seed=seed, seeds=seeds)

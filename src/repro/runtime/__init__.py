@@ -13,31 +13,51 @@ independent jobs:
   :func:`~repro.runtime.cache.stable_hash` of (job function, kwargs,
   code-version salt).
 
+* :mod:`~repro.runtime.trace_store` — a module-level store that ships each
+  cellular trace to pool workers once (via the pool initializer) instead of
+  pickling it into every job; jobs carry tiny
+  :class:`~repro.runtime.trace_store.TraceRef` handles.
+
+Used as a context manager, :class:`SweepExecutor` keeps one pool alive
+across ``run()`` calls, so repeated sweeps skip the ~1 s worker spin-up.
+Multi-seed sweeps add a statistical seed axis selected by ``seeds=``
+arguments or the ``REPRO_SEEDS`` environment variable
+(:func:`~repro.runtime.executor.resolve_seeds`).
+
 The invariant the rest of the repo relies on: a sweep's metrics are
-bit-for-bit identical whether executed serially, in parallel, or replayed
-from the cache.
+bit-for-bit identical whether executed serially, in parallel, on a reused
+pool, or replayed from the cache.
 """
 
 from repro.runtime.cache import (CACHE_DIR_ENV, CODE_VERSION_SALT, ResultCache,
                                  effective_salt, stable_hash)
-from repro.runtime.executor import (JOBS_ENV, ExecutorStats, SweepExecutor,
-                                    SweepJob, get_executor,
-                                    resolve_worker_count)
+from repro.runtime.executor import (JOBS_ENV, SEEDS_ENV, ExecutorStats,
+                                    SweepExecutor, SweepJob, get_executor,
+                                    resolve_seeds, resolve_worker_count)
 from repro.runtime.spec import (SweepCell, SweepSpec, strip_result, sweep_cell,
                                 validate_schemes)
+from repro.runtime.trace_store import (TraceRef, clear_trace_store, get_trace,
+                                       register_trace, resolve_link_spec)
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CODE_VERSION_SALT",
     "JOBS_ENV",
+    "SEEDS_ENV",
     "ExecutorStats",
     "ResultCache",
     "SweepCell",
     "SweepExecutor",
     "SweepJob",
     "SweepSpec",
+    "TraceRef",
+    "clear_trace_store",
     "effective_salt",
     "get_executor",
+    "get_trace",
+    "register_trace",
+    "resolve_link_spec",
+    "resolve_seeds",
     "resolve_worker_count",
     "stable_hash",
     "strip_result",

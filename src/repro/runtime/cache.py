@@ -42,7 +42,7 @@ import numpy as np
 
 #: Bump whenever simulator semantics change in a way that alters metrics;
 #: stale cache entries from older code versions then miss instead of lying.
-CODE_VERSION_SALT = "repro-runtime-v1"
+CODE_VERSION_SALT = "repro-runtime-v2"
 
 #: Environment variable appended to the salt (e.g. per-branch caches).
 SALT_ENV = "REPRO_CACHE_SALT"
@@ -87,12 +87,14 @@ def _canonical(obj: Any) -> Any:
                 hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()]
     if isinstance(obj, (np.floating, np.integer, np.bool_)):
         return _canonical(obj.item())
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
-        return ["dc", _type_name(obj), _canonical(fields)]
+    # An explicit fingerprint wins over structural encoding (including for
+    # dataclasses), so types like TraceRef can exclude cosmetic fields.
     fingerprint = getattr(obj, "cache_fingerprint", None)
     if callable(fingerprint):
         return ["fp", _type_name(obj), _canonical(fingerprint())]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+        return ["dc", _type_name(obj), _canonical(fields)]
     if hasattr(obj, "__dict__"):
         return ["o", _type_name(obj), _canonical(vars(obj))]
     return ["r", _type_name(obj), repr(obj)]

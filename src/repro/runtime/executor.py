@@ -12,8 +12,9 @@ Determinism contract
 --------------------
 Results are returned in job-submission order and each job runs in its own
 simulator instance with explicit seeds, so the returned metrics are
-bit-for-bit identical whether a sweep runs serially, in parallel, or is
-replayed from the cache.  ``tests/test_runtime_executor.py`` enforces this.
+bit-for-bit identical whether a sweep runs serially, in parallel, on a
+reused pool, or is replayed from the cache.
+``tests/test_runtime_executor.py`` enforces this.
 
 Worker selection
 ----------------
@@ -21,6 +22,23 @@ Worker selection
 which wins over the serial default (1).  ``0`` or ``"auto"`` means one worker
 per CPU.  Job *functions* must be module-level callables and their kwargs
 picklable, because parallel workers receive them by reference.
+
+Pool reuse
+----------
+By default every :meth:`SweepExecutor.run` call spins up (and tears down) its
+own pool, which costs ~1 s of worker start-up — enough to swamp the
+parallel win on small grids.  Used as a context manager the executor keeps
+one pool alive across ``run()`` calls::
+
+    with SweepExecutor(jobs=4) as executor:
+        first = spec_a.run(executor)    # pool starts here
+        second = spec_b.run(executor)   # pool reused, no spin-up
+
+Workers are primed with the shared trace store
+(:mod:`repro.runtime.trace_store`) when the pool starts, so job kwargs carry
+tiny :class:`~repro.runtime.trace_store.TraceRef` handles instead of pickling
+every trace into every cell.  If new traces are registered after the pool
+started, the next ``run()`` transparently restarts it with a fresh snapshot.
 """
 
 from __future__ import annotations
@@ -29,13 +47,19 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.cache import (CACHE_DIR_ENV, ResultCache, effective_salt,
                                  stable_hash)
+from repro.runtime.trace_store import (TraceRef, install_snapshot,
+                                       snapshot_for)
 
 #: Environment variable selecting the worker count (``1`` = serial).
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable selecting the default seed list for multi-seed
+#: sweeps: comma- or space-separated integers (``REPRO_SEEDS="1,2,3"``).
+SEEDS_ENV = "REPRO_SEEDS"
 
 
 def resolve_worker_count(jobs: Optional[int | str] = None) -> int:
@@ -59,6 +83,37 @@ def resolve_worker_count(jobs: Optional[int | str] = None) -> int:
     return value
 
 
+def resolve_seeds(seeds: Union[int, Sequence[int], None] = None
+                  ) -> Optional[Tuple[int, ...]]:
+    """Resolve a seed list from the API arg or the ``REPRO_SEEDS`` env var.
+
+    The precedence mirrors :func:`resolve_worker_count`: an explicit
+    ``seeds=`` argument (an int or an iterable of ints) wins over
+    ``REPRO_SEEDS`` (comma- or space-separated integers), which wins over the
+    entry point's legacy single-seed default (signalled by returning
+    ``None``).
+    """
+    if seeds is not None:
+        if isinstance(seeds, int):
+            return (seeds,)
+        resolved = tuple(int(s) for s in seeds)
+        if not resolved:
+            raise ValueError("seeds must contain at least one seed")
+        return resolved
+    raw = os.environ.get(SEEDS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        parsed = tuple(int(part) for part in raw.replace(",", " ").split())
+    except ValueError as exc:
+        raise ValueError(
+            f"{SEEDS_ENV} must be comma- or space-separated integers, "
+            f"got {raw!r}") from exc
+    if not parsed:
+        raise ValueError(f"{SEEDS_ENV} must name at least one seed")
+    return parsed
+
+
 @dataclass
 class SweepJob:
     """One independent sweep cell: a module-level function plus kwargs.
@@ -72,6 +127,7 @@ class SweepJob:
     label: str = ""
 
     def cache_key(self, salt: str) -> str:
+        """Content-addressed cache key: function identity + kwargs + salt."""
         func_id = f"{self.func.__module__}.{self.func.__qualname__}"
         return stable_hash([func_id, self.kwargs, salt])
 
@@ -84,6 +140,19 @@ def _execute_job(job: SweepJob) -> Any:
     return job.run()
 
 
+def _needed_trace_keys(jobs: Sequence[SweepJob]) -> set:
+    """Content keys of every :class:`TraceRef` the jobs' kwargs reference."""
+    keys = set()
+    for job in jobs:
+        for value in job.kwargs.values():
+            if isinstance(value, TraceRef):
+                keys.add(value.key)
+            elif isinstance(value, (tuple, list)):
+                keys.update(item.key for item in value
+                            if isinstance(item, TraceRef))
+    return keys
+
+
 @dataclass
 class ExecutorStats:
     """What the last :meth:`SweepExecutor.run` call actually did."""
@@ -93,6 +162,7 @@ class ExecutorStats:
     executed: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    pool_reused: bool = False
 
 
 class SweepExecutor:
@@ -109,6 +179,11 @@ class SweepExecutor:
     salt:
         Code-version salt mixed into every cache key (see
         :mod:`repro.runtime.cache`).
+
+    Used as a plain object, every :meth:`run` call manages its own
+    short-lived pool.  Used as a context manager (``with SweepExecutor(...)
+    as ex:``) the pool persists across ``run()`` calls — see
+    :meth:`open`/:meth:`close`.
     """
 
     def __init__(self, jobs: Optional[int | str] = None,
@@ -121,6 +196,55 @@ class SweepExecutor:
             ResultCache(cache_dir) if cache_dir is not None else None)
         self.salt = effective_salt(salt)
         self.last_stats = ExecutorStats()
+        self._persistent = False
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_trace_keys: set = set()
+
+    # ------------------------------------------------------------ pool reuse
+    def open(self) -> "SweepExecutor":
+        """Switch to persistent-pool mode.
+
+        The pool itself starts lazily on the first parallel :meth:`run` and
+        then stays warm until :meth:`close`, so repeated sweeps pay the
+        worker spin-up cost once instead of once per sweep.
+        """
+        self._persistent = True
+        return self
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent, safe without one)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._pool_trace_keys = set()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        self._persistent = False
+
+    def _ensure_pool(self, needed_keys: set) -> multiprocessing.pool.Pool:
+        """The persistent pool, restarted only when it is missing a trace.
+
+        Workers are primed with exactly the traces the submitted jobs
+        reference — never with unrelated registrations from other sweeps, so
+        worker memory stays bounded by one sweep's working set.  A ``run()``
+        whose refs the workers already hold reuses the warm pool; one that
+        needs anything else restarts it (the restart costs ~1 s, the same as
+        a one-shot pool would have paid anyway).
+        """
+        if self._pool is not None and not needed_keys <= self._pool_trace_keys:
+            self.close()
+        if self._pool is None:
+            snapshot = snapshot_for(needed_keys)
+            self._pool = multiprocessing.Pool(
+                processes=self.workers, initializer=install_snapshot,
+                initargs=(snapshot,))
+            self._pool_trace_keys = set(snapshot)
+        return self._pool
 
     # ------------------------------------------------------------------ run
     def run(self, jobs: Sequence[SweepJob]) -> List[Any]:
@@ -145,8 +269,9 @@ class SweepExecutor:
                     continue
             pending.append(index)
 
+        reused = False
         if pending:
-            outputs = self._execute([jobs[i] for i in pending])
+            outputs, reused = self._execute([jobs[i] for i in pending])
             for index, value in zip(pending, outputs):
                 results[index] = value
                 if self.cache is not None:
@@ -155,15 +280,26 @@ class SweepExecutor:
         self.last_stats = ExecutorStats(
             total=len(jobs), cache_hits=hits, executed=len(pending),
             workers=self.workers,
-            wall_seconds=time.perf_counter() - started)
+            wall_seconds=time.perf_counter() - started,
+            pool_reused=reused)
         return results
 
-    def _execute(self, jobs: List[SweepJob]) -> List[Any]:
+    def _execute(self, jobs: List[SweepJob]) -> Tuple[List[Any], bool]:
+        """Run jobs; returns ``(results, pool_was_reused)``."""
         if self.workers <= 1 or len(jobs) <= 1:
-            return [_execute_job(job) for job in jobs]
+            return [_execute_job(job) for job in jobs], False
+        needed = _needed_trace_keys(jobs)
+        if self._persistent:
+            previous = self._pool
+            pool = self._ensure_pool(needed)
+            return (pool.map(_execute_job, jobs, chunksize=1),
+                    pool is previous)
+        # One-shot pool: ship only the traces these jobs actually reference.
         processes = min(self.workers, len(jobs))
-        with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(_execute_job, jobs, chunksize=1)
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=install_snapshot,
+                                  initargs=(snapshot_for(needed),)) as pool:
+            return pool.map(_execute_job, jobs, chunksize=1), False
 
 
 def get_executor(executor: Optional[SweepExecutor] = None,

@@ -28,18 +28,27 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+from repro.runtime.trace_store import register_trace, resolve_link_spec
 
 
 def sweep_cell(**kwargs) -> Any:
     """Run one (scheme, trace, seed, overrides) cell.
 
-    Module-level so multiprocessing workers can import it by name.  Returns
+    Module-level so multiprocessing workers can import it by name.
+    ``link_spec`` (and any ``extra_links``) may be
+    :class:`~repro.runtime.trace_store.TraceRef` handles, which are resolved
+    against this process's trace store before the simulation runs.  Returns
     the :class:`SingleBottleneckResult` with its ``extra`` dict reduced to
     picklable values (the live ``Scenario``/flow objects are dropped,
     ``per_link_utilization`` is kept).
     """
     from repro.experiments.runner import run_single_bottleneck
 
+    kwargs = dict(kwargs)
+    kwargs["link_spec"] = resolve_link_spec(kwargs["link_spec"])
+    if "extra_links" in kwargs:
+        kwargs["extra_links"] = tuple(resolve_link_spec(link)
+                                      for link in kwargs["extra_links"])
     result = run_single_bottleneck(**kwargs)
     return strip_result(result)
 
@@ -91,6 +100,13 @@ class SweepSpec:
     :class:`~repro.simulator.link.CapacityModel`).  ``param_grid`` is an
     extra axis of kwargs overrides applied on top of the base parameters —
     e.g. ``[{"rtt": r} for r in rtts]`` reproduces the Fig. 18 RTT axis.
+
+    ``seeds`` is the statistical axis: each (scheme, trace, overrides) cell
+    runs once per seed, and
+    :func:`repro.analysis.stats.aggregate_cells` (or the experiment entry
+    points' ``seeds=`` parameters) turns the resulting ``run_cells()`` pairs
+    into mean ± 95 % CI aggregates.  The default ``(0,)`` reproduces the
+    single-seed figures bit-for-bit.
     """
 
     schemes: Sequence[str]
@@ -115,12 +131,26 @@ class SweepSpec:
 
     # ------------------------------------------------------------- expansion
     def expand(self) -> Tuple[List[SweepCell], List[SweepJob]]:
-        """All cells in deterministic scheme→trace→seed→override order."""
+        """All cells in deterministic scheme→trace→seed→override order.
+
+        Cellular traces are registered with the shared trace store and
+        replaced inside job kwargs by tiny
+        :class:`~repro.runtime.trace_store.TraceRef` handles, so a grid of
+        ``S × T`` cells pickles each trace once per worker pool instead of
+        once per cell.  The ref hashes like the trace's content, so cache
+        keys stay content-addressed.
+        """
+        from repro.cellular.trace import CellularTrace
+
         self.validate()
+        trace_specs = {
+            name: (register_trace(spec)
+                   if isinstance(spec, CellularTrace) else spec)
+            for name, spec in self.traces.items()}
         cells: List[SweepCell] = []
         jobs: List[SweepJob] = []
         for scheme in self.schemes:
-            for trace_name, link_spec in self.traces.items():
+            for trace_name, link_spec in trace_specs.items():
                 for seed in self.seeds:
                     for overrides in self.param_grid:
                         # Normalise the label inside the job kwargs so a

@@ -1,0 +1,51 @@
+"""Documentation health: intra-repo links resolve, README maps every figure.
+
+The same link check runs as a CI job (``docs`` in ``.github/workflows/ci.yml``)
+via ``tools/check_links.py``; running it here too means a doc that drifts from
+the tree fails the tier-1 gate locally as well.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_links import check_file, iter_markdown_files  # noqa: E402
+
+
+def test_markdown_links_resolve():
+    errors = []
+    files = list(iter_markdown_files(REPO_ROOT))
+    assert (REPO_ROOT / "README.md") in files
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md") in files
+    for path in files:
+        errors += check_file(path, REPO_ROOT)
+    assert not errors, "broken intra-repo links:\n" + "\n".join(errors)
+
+
+def test_readme_maps_every_figure_benchmark():
+    """Every Fig. 1–18 + Table 1 bench harness appears in the README table."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    bench_files = sorted(
+        p.name for p in (REPO_ROOT / "benchmarks").glob("bench_fig*.py"))
+    bench_files.append("bench_table1_summary.py")
+    missing = [name for name in bench_files if name not in readme]
+    assert not missing, f"README figure table misses: {missing}"
+
+
+def test_readme_documents_the_knobs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for knob in ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_SEEDS"):
+        assert knob in readme
+
+
+def test_architecture_names_every_package():
+    arch = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    packages = sorted(p.name for p in (REPO_ROOT / "src" / "repro").iterdir()
+                      if p.is_dir() and not p.name.startswith("__"))
+    missing = [f"{name}/" for name in packages if f"{name}/" not in arch]
+    assert not missing, f"ARCHITECTURE.md misses packages: {missing}"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check intra-repo links in the repository's Markdown files.
+
+Scans every ``*.md`` file (repo root and ``docs/``) for Markdown links and
+images, skips external targets (``http(s)://``, ``mailto:``) and pure
+anchors, and verifies that every relative target exists on disk.  Exits
+non-zero with a report of broken links, so CI fails when a doc drifts from
+the tree it describes.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that never refer to a file in this repository.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Retrieval artifacts shipped with the seed, not project documentation;
+#: they embed references to assets that were never part of this repo.
+SKIP = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.glob("*.md")):
+        if path.name not in SKIP:
+            yield path
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return 'file:line: broken target' entries for one Markdown file."""
+    errors = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            # Strip any #fragment; what must exist is the file itself.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append(f"{path.relative_to(root)}:{lineno}: link "
+                              f"escapes the repository: {target}")
+                continue
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}:{lineno}: broken "
+                              f"link target: {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    files = list(iter_markdown_files(root))
+    errors = []
+    for path in files:
+        errors += check_file(path, root)
+    if errors:
+        print(f"{len(errors)} broken intra-repo link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(files)} Markdown file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
