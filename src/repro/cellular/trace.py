@@ -9,7 +9,6 @@ This module keeps timestamps in seconds internally.
 
 from __future__ import annotations
 
-import bisect
 import math
 from pathlib import Path
 from typing import Iterable, List, Sequence, Union
@@ -30,6 +29,10 @@ class CellularTrace:
         if times[0] < 0:
             raise ValueError("opportunity times must be non-negative")
         self._times: List[float] = times
+        # Precomputed array for vectorised window lookups: the i-th prefix
+        # count is ``searchsorted(_times_np, t)``, so the capacity offered
+        # over a window is a cumulative-count difference instead of a scan.
+        self._times_np = np.asarray(times, dtype=float)
         self.name = name
         self.bytes_per_opportunity = bytes_per_opportunity
 
@@ -56,21 +59,35 @@ class CellularTrace:
             return 0.0
         return len(self._times) * self.bytes_per_opportunity * 8.0 / self.duration
 
+    def opportunities_before(self, t: float) -> int:
+        """Number of delivery opportunities with timestamp strictly below
+        ``t`` (a cumulative-count lookup via ``searchsorted``)."""
+        return int(np.searchsorted(self._times_np, t, side="left"))
+
+    def bits_between(self, t0: float, t1: float) -> float:
+        """Total bit-capacity the trace offers over ``[t0, t1)``.
+
+        Closed form: the difference of two cumulative opportunity counts
+        times the opportunity size — no per-opportunity iteration.
+        """
+        if t1 <= t0:
+            return 0.0
+        count = (self.opportunities_before(t1) - self.opportunities_before(t0))
+        return count * self.bytes_per_opportunity * 8.0
+
     def rate_in_window(self, t0: float, t1: float) -> float:
         """Average deliverable rate (bps) between ``t0`` and ``t1``."""
         if t1 <= t0:
             return 0.0
-        lo = bisect.bisect_left(self._times, t0)
-        hi = bisect.bisect_left(self._times, t1)
-        return (hi - lo) * self.bytes_per_opportunity * 8.0 / (t1 - t0)
+        lo, hi = np.searchsorted(self._times_np, (t0, t1), side="left")
+        return int(hi - lo) * self.bytes_per_opportunity * 8.0 / (t1 - t0)
 
     def rate_timeseries(self, bin_size: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
         """Binned capacity time series ``(bin_centers_s, rate_bps)``."""
         n_bins = max(int(math.ceil(self.duration / bin_size)), 1)
-        counts = np.zeros(n_bins)
-        for t in self._times:
-            idx = min(int(t / bin_size), n_bins - 1)
-            counts[idx] += 1
+        idx = (self._times_np / bin_size).astype(int)
+        np.minimum(idx, n_bins - 1, out=idx)
+        counts = np.bincount(idx, minlength=n_bins).astype(float)
         centers = (np.arange(n_bins) + 0.5) * bin_size
         return centers, counts * self.bytes_per_opportunity * 8.0 / bin_size
 

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import SeedResultSet, split_by_seed
+from repro.analysis.stats import (SeedAggregate, SeedResultSet,
+                                  aggregate_metric_dicts, split_by_seed)
 from repro.aqm import DropTailQdisc
 from repro.cc import make_cc
 from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
@@ -41,7 +42,12 @@ from repro.simulator.traffic import FixedSizeSource, OnOffSource, RateLimitedSou
 # ---------------------------------------------------------------------------
 @dataclass
 class DualBottleneckTrace:
-    """Time series of the Fig. 6 / Fig. 11 experiment."""
+    """Time series of the Fig. 6 / Fig. 11 experiment.
+
+    For multi-seed runs the arrays are across-seed means (trimmed to the
+    shortest seed's sample count), ``n_seeds`` > 1, and ``seed_stats`` maps
+    ``tracking_error`` to its :class:`~repro.analysis.stats.SeedAggregate`.
+    """
 
     times: np.ndarray
     throughput_mbps: np.ndarray
@@ -51,6 +57,8 @@ class DualBottleneckTrace:
     wireless_rate_mbps: np.ndarray
     ideal_rate_mbps: np.ndarray
     tracking_error: float = 0.0
+    n_seeds: int = 1
+    seed_stats: Optional[Dict[str, SeedAggregate]] = None
 
 
 def _default_wireless_steps(duration: float, period: float = 5.0,
@@ -66,17 +74,18 @@ def _default_wireless_steps(duration: float, period: float = 5.0,
     return SteppedRate(steps)
 
 
-def fig6_nonabc_bottleneck(duration: float = 80.0, wired_mbps: float = 12.0,
-                           rtt: float = 0.1, sample_interval: float = 0.25,
-                           cross_traffic: bool = False,
-                           cross_schedule: Optional[Sequence[tuple]] = None
-                           ) -> DualBottleneckTrace:
-    """Run the wireless(ABC)+wired(drop-tail) experiment.
+def fig6_cell(duration: float, wired_mbps: float, rtt: float,
+              sample_interval: float, cross_traffic: bool,
+              cross_schedule: Optional[Sequence[tuple]] = None,
+              seed: int = 0) -> DualBottleneckTrace:
+    """One seed's run of the Fig. 6 / Fig. 11 experiment.
 
-    With ``cross_traffic=True`` this is the Fig. 11 experiment: an on-off
-    Cubic flow shares the wired link, so ABC's ideal rate becomes the minimum
-    of the wireless rate and its fair share of the wired link.
+    Module-level with plain picklable kwargs so the entry points can route it
+    through the sweep executor (pool fan-out + result cache).  The topology
+    itself is deterministic — ``seed`` exists for seed-axis API uniformity
+    with the other figures and to keep per-seed cache keys distinct.
     """
+    del seed  # deterministic scenario; see docstring
     scenario = Scenario()
     wireless_capacity = _default_wireless_steps(duration)
     params = ABCParams()
@@ -153,6 +162,72 @@ def fig6_nonabc_bottleneck(duration: float = 80.0, wired_mbps: float = 12.0,
     )
 
 
+def _combine_dual_bottleneck(per_seed: Sequence[DualBottleneckTrace],
+                             seed_list: Sequence[int]) -> DualBottleneckTrace:
+    """Average per-seed Fig. 6/11 traces into one mean-curve trace."""
+    n = min(len(trace.times) for trace in per_seed)
+
+    def mean_of(attr: str) -> np.ndarray:
+        return np.mean([getattr(trace, attr)[:n] for trace in per_seed],
+                       axis=0)
+
+    stats = aggregate_metric_dicts(
+        [{"tracking_error": trace.tracking_error} for trace in per_seed])
+    return DualBottleneckTrace(
+        times=per_seed[0].times[:n],
+        throughput_mbps=mean_of("throughput_mbps"),
+        queuing_delay_ms=mean_of("queuing_delay_ms"),
+        w_abc=mean_of("w_abc"),
+        w_cubic=mean_of("w_cubic"),
+        wireless_rate_mbps=mean_of("wireless_rate_mbps"),
+        ideal_rate_mbps=mean_of("ideal_rate_mbps"),
+        tracking_error=stats["tracking_error"].mean,
+        n_seeds=len(seed_list),
+        seed_stats=stats,
+    )
+
+
+def fig6_nonabc_bottleneck(duration: float = 80.0, wired_mbps: float = 12.0,
+                           rtt: float = 0.1, sample_interval: float = 0.25,
+                           cross_traffic: bool = False,
+                           cross_schedule: Optional[Sequence[tuple]] = None,
+                           executor: Optional[SweepExecutor] = None,
+                           jobs: Optional[int] = None,
+                           cache_dir: Optional[str] = None,
+                           seeds: Optional[Sequence[int]] = None
+                           ) -> DualBottleneckTrace:
+    """Run the wireless(ABC)+wired(drop-tail) experiment.
+
+    With ``cross_traffic=True`` this is the Fig. 11 experiment: an on-off
+    Cubic flow shares the wired link, so ABC's ideal rate becomes the minimum
+    of the wireless rate and its fair share of the wired link.
+
+    The run is routed through the sweep executor, so it honours
+    ``REPRO_JOBS``/``REPRO_CACHE_DIR`` like the sweep figures.  The topology
+    is deterministic; ``seeds=`` (or ``REPRO_SEEDS``) exists for API
+    uniformity with the stochastic figures and returns the across-seed mean
+    curves with ``seed_stats`` attached, exactly like
+    :func:`~repro.experiments.timeseries.fig17_square_wave`.  Because
+    :func:`fig6_cell` provably ignores its seed, the seed axis replicates a
+    single simulation instead of running N identical ones.
+    """
+    seeds = resolve_seeds(seeds)
+    seed_list = (0,) if seeds is None else seeds
+    schedule = (None if cross_schedule is None
+                else [tuple(interval) for interval in cross_schedule])
+    tag = "fig11" if cross_traffic else "fig6"
+    job = SweepJob(func=fig6_cell,
+                   kwargs=dict(duration=duration, wired_mbps=wired_mbps,
+                               rtt=rtt, sample_interval=sample_interval,
+                               cross_traffic=cross_traffic,
+                               cross_schedule=schedule, seed=0),
+                   label=tag)
+    result = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run([job])[0]
+    if len(seed_list) == 1:
+        return result
+    return _combine_dual_bottleneck([result] * len(seed_list), seed_list)
+
+
 def fig11_cross_traffic(duration: float = 80.0, **kwargs) -> DualBottleneckTrace:
     """Fig. 11 is Fig. 6 plus on-off cross traffic on the wired link."""
     return fig6_nonabc_bottleneck(duration=duration, cross_traffic=True, **kwargs)
@@ -186,16 +261,49 @@ class CoexistenceResult:
         return (self.mean_cubic_mbps - self.mean_abc_mbps) / denom
 
 
-def fig7_coexistence_timeseries(link_mbps: float = 24.0, duration: float = 120.0,
-                                rtt: float = 0.1, stagger: float = 30.0
-                                ) -> CoexistenceResult:
-    """Fig. 7: two ABC then two Cubic flows arrive one after another."""
+def fig7_cell(link_mbps: float, duration: float, rtt: float, stagger: float,
+              seed: int = 17) -> CoexistenceResult:
+    """One seed's run of the Fig. 7 staggered-arrival experiment.
+
+    Module-level (controller built inside) so the entry point can route it
+    through the sweep executor with plain picklable kwargs.
+    """
     return _run_shared_bottleneck(
         link_mbps=link_mbps, duration=duration, rtt=rtt,
         n_abc=2, n_cubic=2, abc_starts=(0.0, stagger),
         cubic_starts=(2 * stagger, 3 * stagger),
         controller=MaxMinWeightController(interval=1.0),
-        short_flow_load=0.0, warmup=3 * stagger)
+        short_flow_load=0.0, warmup=3 * stagger, seed=seed)
+
+
+def fig7_coexistence_timeseries(link_mbps: float = 24.0, duration: float = 120.0,
+                                rtt: float = 0.1, stagger: float = 30.0,
+                                executor: Optional[SweepExecutor] = None,
+                                jobs: Optional[int] = None,
+                                cache_dir: Optional[str] = None,
+                                seeds: Optional[Sequence[int]] = None):
+    """Fig. 7: two ABC then two Cubic flows arrive one after another.
+
+    Routed through the sweep executor.  With multiple ``seeds`` (argument or
+    ``REPRO_SEEDS``) the return value becomes a
+    :class:`~repro.analysis.stats.SeedResultSet` aggregating
+    :func:`coexistence_metrics` across seeds (Fig. 7 runs no short flows, so
+    the seed axis mirrors Fig. 12's API); a single/default seed returns the
+    legacy :class:`CoexistenceResult`.  The seed only drives the Poisson
+    short-flow process, which Fig. 7 disables — so the seed axis replicates
+    one simulation instead of running N identical ones.
+    """
+    seeds = resolve_seeds(seeds)
+    seed_list = (17,) if seeds is None else seeds
+    job = SweepJob(func=fig7_cell,
+                   kwargs=dict(link_mbps=link_mbps, duration=duration,
+                               rtt=rtt, stagger=stagger, seed=17),
+                   label="fig7")
+    result = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run([job])[0]
+    if len(seed_list) == 1:
+        return result
+    return SeedResultSet(seed_list, [result] * len(seed_list),
+                         metrics=coexistence_metrics)
 
 
 def _run_shared_bottleneck(link_mbps: float, duration: float, rtt: float,
@@ -336,16 +444,12 @@ class AppLimitedResult:
     app_limited_aggregate_mbps: float
 
 
-def fig13_app_limited(num_app_limited: int = 50,
-                      aggregate_app_rate_mbps: float = 1.0,
-                      duration: float = 30.0, rtt: float = 0.1,
-                      seed: int = 23) -> AppLimitedResult:
-    """Fig. 13: a backlogged ABC flow plus many application-limited ABC flows.
+def fig13_cell(num_app_limited: int, aggregate_app_rate_mbps: float,
+               duration: float, rtt: float, seed: int) -> AppLimitedResult:
+    """One seed's run of the Fig. 13 experiment (module-level sweep job).
 
-    The paper uses 200 application-limited flows; the default here is 50 (with
-    the same 1 Mbit/s aggregate) to keep the runtime reasonable — the claim
-    being tested (the backlogged flow still fills the link and delays stay
-    low even though most flows cannot respond to accelerates) is unchanged.
+    The seed drives the synthetic cellular trace, so the seed axis samples
+    genuinely different capacity processes.
     """
     config = SyntheticTraceConfig(mean_rate_bps=12e6, min_rate_bps=2e6,
                                   max_rate_bps=24e6, volatility=0.2,
@@ -372,3 +476,39 @@ def fig13_app_limited(num_app_limited: int = 50,
         backlogged_throughput_mbps=result.flow_throughput_bps(backlogged) / 1e6,
         app_limited_aggregate_mbps=aggregate,
     )
+
+
+def fig13_app_limited(num_app_limited: int = 50,
+                      aggregate_app_rate_mbps: float = 1.0,
+                      duration: float = 30.0, rtt: float = 0.1,
+                      seed: int = 23,
+                      executor: Optional[SweepExecutor] = None,
+                      jobs: Optional[int] = None,
+                      cache_dir: Optional[str] = None,
+                      seeds: Optional[Sequence[int]] = None):
+    """Fig. 13: a backlogged ABC flow plus many application-limited ABC flows.
+
+    The paper uses 200 application-limited flows; the default here is 50 (with
+    the same 1 Mbit/s aggregate) to keep the runtime reasonable — the claim
+    being tested (the backlogged flow still fills the link and delays stay
+    low even though most flows cannot respond to accelerates) is unchanged.
+
+    Routed through the sweep executor.  The seed regenerates the synthetic
+    cellular trace, so with multiple ``seeds`` (argument or ``REPRO_SEEDS``)
+    the return value becomes a
+    :class:`~repro.analysis.stats.SeedResultSet` over genuinely different
+    capacity processes; a single/default seed returns the legacy
+    :class:`AppLimitedResult` bit-for-bit.
+    """
+    seeds = resolve_seeds(seeds)
+    seed_list = (seed,) if seeds is None else seeds
+    sweep_jobs = [SweepJob(func=fig13_cell,
+                           kwargs=dict(num_app_limited=num_app_limited,
+                                       aggregate_app_rate_mbps=aggregate_app_rate_mbps,
+                                       duration=duration, rtt=rtt, seed=s),
+                           label=f"fig13/seed{s}")
+                  for s in seed_list]
+    results = get_executor(executor, jobs=jobs, cache_dir=cache_dir).run(sweep_jobs)
+    if len(seed_list) == 1:
+        return results[0]
+    return SeedResultSet(seed_list, results)

@@ -42,7 +42,10 @@ import numpy as np
 
 #: Bump whenever simulator semantics change in a way that alters metrics;
 #: stale cache entries from older code versions then miss instead of lying.
-CODE_VERSION_SALT = "repro-runtime-v2"
+#: v3: hot-path overhaul — closed-form SquareWaveRate.bits_between changes
+#: utilisation denominators, and the Fig. 6/7/11/13 entry points became
+#: cacheable sweep jobs.
+CODE_VERSION_SALT = "repro-runtime-v3"
 
 #: Environment variable appended to the salt (e.g. per-branch caches).
 SALT_ENV = "REPRO_CACHE_SALT"

@@ -24,7 +24,8 @@ from repro.cc.base import CongestionControl
 from repro.simulator.engine import EventHandle, EventLoop
 from repro.simulator.estimators import RTTEstimator
 from repro.simulator.monitor import FlowStats
-from repro.simulator.packet import ACK_SIZE, MTU, Ack, AckFeedback, ECN, Packet
+from repro.simulator.packet import (ACK_SIZE, MTU, Ack, AckFeedback, ECN,
+                                    Packet, packet_pool)
 from repro.simulator.traffic import BackloggedSource, TrafficSource
 
 #: A packet is declared lost when another packet *sent this much later* has
@@ -45,7 +46,7 @@ def _forward(hop, packet) -> None:
         hop.receive(packet)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentInfo:
     seq: int
     size: int
@@ -227,15 +228,15 @@ class Sender:
         self._transmit(info.seq, info.size, now, is_retransmission=True)
 
     def _transmit(self, seq: int, size: int, now: float, is_retransmission: bool) -> None:
-        ecn = ECN.ACCEL if self.cc.uses_abc else ECN.NOT_ECT
-        packet = Packet(
+        abc_capable = self.cc.uses_abc
+        packet = packet_pool.acquire_packet(
             flow_id=self.flow_id,
             seq=seq,
             size=size,
-            ecn=ecn,
+            ecn=ECN.ACCEL if abc_capable else ECN.NOT_ECT,
             sent_time=now,
             is_retransmission=is_retransmission,
-            abc_capable=self.cc.uses_abc,
+            abc_capable=abc_capable,
             meta=self.cc.packet_meta(now),
         )
         self.outstanding[seq] = _SentInfo(seq=seq, size=size, sent_time=now,
@@ -289,6 +290,7 @@ class Sender:
         if info is None:
             # ACK for a packet we already retired (spurious retransmission or
             # a duplicate) — nothing to update.
+            packet_pool.release_ack(ack)
             return
         rtt_sample = None
         if not info.is_retransmission:
@@ -297,9 +299,10 @@ class Sender:
             # Fresh feedback from the network: clear any RTO backoff.
             self._rto_backoff = 1.0
         self.bytes_acked += info.size
-        self.highest_acked = max(self.highest_acked, ack.seq)
-        self._latest_acked_sent_time = max(self._latest_acked_sent_time,
-                                           info.sent_time)
+        if ack.seq > self.highest_acked:
+            self.highest_acked = ack.seq
+        if info.sent_time > self._latest_acked_sent_time:
+            self._latest_acked_sent_time = info.sent_time
 
         self._detect_losses(now)
 
@@ -314,6 +317,7 @@ class Sender:
             sent_time=info.sent_time,
             meta=ack.meta,
         )
+        packet_pool.release_ack(ack)
         self.cc.on_ack(feedback)
 
         if self.outstanding:
@@ -326,10 +330,19 @@ class Sender:
     def _detect_losses(self, now: float) -> None:
         """RACK-style loss detection: an outstanding packet is lost when some
         packet transmitted ``REORDER_WINDOW`` later has already been ACKed."""
-        if not self.outstanding:
+        outstanding = self.outstanding
+        if not outstanding:
             return
         threshold_time = self._latest_acked_sent_time - REORDER_WINDOW
-        lost = [seq for seq, info in self.outstanding.items()
+        # ``outstanding`` is insertion-ordered by transmission time (packets
+        # are only ever (re)inserted at their send time), so its first entry
+        # carries the minimum sent_time: when even that packet is newer than
+        # the threshold nothing can be lost, and the common no-loss ACK skips
+        # the full scan — O(1) instead of O(window) per ACK.
+        first_info = next(iter(outstanding.values()))
+        if first_info.sent_time >= threshold_time:
+            return
+        lost = [seq for seq, info in outstanding.items()
                 if info.sent_time < threshold_time]
         if not lost:
             return
@@ -401,25 +414,32 @@ class Receiver:
             return
         now = self.env.now
         self.packets_received += 1
-        self.stats_for(packet.flow_id).record(packet, now)
+        flow_id = packet.flow_id
+        self.stats_for(flow_id).record(packet, now)
 
-        expected = self._next_expected.get(packet.flow_id, 0)
+        next_expected = self._next_expected
+        expected = next_expected.get(flow_id, 0)
         if packet.seq >= expected:
-            self._next_expected[packet.flow_id] = packet.seq + 1
+            expected = packet.seq + 1
+            next_expected[flow_id] = expected
 
-        ack = Ack(
-            flow_id=packet.flow_id,
+        ecn = packet.ecn
+        ack = packet_pool.acquire_ack(
+            flow_id=flow_id,
             seq=packet.seq,
             size=self.ack_size,
-            accel=(packet.ecn == ECN.ACCEL),
-            ece=(packet.ecn == ECN.CE),
+            accel=(ecn == ECN.ACCEL),
+            ece=(ecn == ECN.CE),
             data_sent_time=packet.sent_time,
             data_size=packet.size,
             ack_sent_time=now,
-            cumulative_ack=self._next_expected[packet.flow_id],
+            cumulative_ack=next_expected[flow_id],
             sent_time=now,
             meta=dict(packet.meta),
         )
+        # The data packet's life ends here: its fields are copied into the
+        # flow stats and the ACK above, so the object can be recycled.
+        packet_pool.release_packet(packet)
         if self.egress is not None:
             _forward(self.egress, ack)
 

@@ -9,29 +9,37 @@ Design notes
 ------------
 * Events scheduled for the same timestamp fire in insertion order; this keeps
   runs deterministic, which the test-suite and the benchmark harness rely on.
-* Cancelling an event is O(1): the handle is flagged and skipped when popped.
+* Heap entries are plain ``[time, seq, callback, args]`` lists, so heap
+  ordering is a C-level list comparison that never goes past ``seq`` (which is
+  unique) — no Python-level ``__lt__`` on the hot path.  The engine-dispatch
+  rate is tracked by ``benchmarks/bench_engine_hotpath.py``.
+* Cancelling an event is O(1): the entry's callback slot is cleared and the
+  entry is skipped when popped.  When cancelled entries pile up (per-ACK RTO
+  re-arming cancels one event per ACK) the heap is compacted in place, so the
+  queue's memory footprint tracks the number of *live* events.
+* :meth:`EventLoop.schedule` and :meth:`EventLoop.schedule_at` both construct
+  heap entries directly (no delegation — it costs a Python call per event on
+  the hottest path in the repo).  Instrumentation that needs to observe every
+  event (the golden determinism trace in
+  ``tests/test_engine_golden_trace.py``) overrides *both* methods.
 * Simulated time is a float in **seconds**.  All other modules follow the same
   convention (rates are in bits per second, sizes in bytes).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from itertools import count
 from typing import Any, Callable, Optional
 
+#: Sentinel stored in an entry's callback slot once the event has fired (or
+#: the queue was cleared), distinguishing "already ran" from "cancelled"
+#: (``None``) so late ``cancel()`` calls cannot corrupt the live-event count.
+_FIRED: Any = object()
 
-@dataclass(order=True)
-class _Event:
-    """Internal heap entry.  Ordered by (time, sequence number)."""
-
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+#: Compact the heap once more than this many cancelled entries linger *and*
+#: they outnumber the live ones (see :meth:`EventLoop._maybe_compact`).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventHandle:
@@ -41,23 +49,34 @@ class EventHandle:
     implementation detail of the engine.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, event: _Event):
-        self._event = event
+    def __init__(self, entry: list, loop: "EventLoop"):
+        self._entry = entry
+        self._loop = loop
 
     @property
     def time(self) -> float:
         """Absolute simulated time at which the event will fire."""
-        return self._event.time
+        return self._entry[0]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[2] is None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self._event.cancelled = True
+        entry = self._entry
+        callback = entry[2]
+        if callback is None:
+            return
+        entry[2] = None
+        if callback is not _FIRED:
+            # The entry is still in the heap: account for it so ``pending``
+            # stays accurate and compaction can reclaim the slot.
+            loop = self._loop
+            loop._cancelled += 1
+            loop._maybe_compact()
 
 
 class EventLoop:
@@ -78,10 +97,12 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
-        self._counter = itertools.count()
+        self._heap: list[list] = []
+        self._next_seq = count().__next__
         self._running = False
         self._events_processed = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -96,8 +117,18 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events currently scheduled (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events currently scheduled."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying heap slots (lazy deletion)."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap has been compacted (introspection for tests)."""
+        return self._compactions
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -106,19 +137,42 @@ class EventLoop:
         Negative delays are clamped to zero (fire "immediately", i.e. at the
         current time but after any events already queued for it).
         """
-        if math.isnan(delay):
+        if delay != delay:  # faster spelling of math.isnan(delay)
             raise ValueError("event delay must not be NaN")
-        return self.schedule_at(self._now + max(delay, 0.0), callback, *args)
+        now = self._now
+        entry = [now + delay if delay > 0.0 else now,
+                 self._next_seq(), callback, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry, self)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
-        if math.isnan(time):
+        if time != time:
             raise ValueError("event time must not be NaN")
         if time < self._now:
             time = self._now
-        event = _Event(time=time, seq=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [time, self._next_seq(), callback, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry, self)
+
+    # ---------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without cancelled entries once they dominate.
+
+        Lazy deletion alone lets a cancel-heavy workload (one RTO re-arm per
+        ACK) grow the heap without bound; compacting when cancelled entries
+        outnumber live ones keeps memory O(live events) at amortised O(1)
+        cost per cancellation.  Compaction preserves the (time, seq) order of
+        the surviving entries, so it is invisible to the event sequence.
+        """
+        cancelled = self._cancelled
+        if (cancelled > _COMPACT_MIN_CANCELLED
+                and cancelled * 2 > len(self._heap)):
+            self._heap = [entry for entry in self._heap
+                          if entry[2] is not None]
+            heapify(self._heap)
+            self._cancelled = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -130,39 +184,65 @@ class EventLoop:
         calculations over a fixed horizon straightforward.
         """
         self._running = True
+        heap = self._heap
+        limit = float("inf") if until is None else until
         processed = 0
+        executed = 0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > limit:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
+                heappop(heap)
+                callback = entry[2]
+                if callback is None:
+                    self._cancelled -= 1
                     continue
-                self._now = max(self._now, event.time)
-                event.callback(*event.args)
-                self._events_processed += 1
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
+                entry[2] = _FIRED
+                if time > self._now:
+                    self._now = time
+                callback(*entry[3])
+                if heap is not self._heap:
+                    # A cancel inside the callback compacted the heap (the
+                    # list was replaced); re-bind before the next pop.
+                    heap = self._heap
+                executed += 1
+                if max_events is not None:
+                    processed += 1
+                    if processed >= max_events:
+                        break
         finally:
             self._running = False
+            self._events_processed += executed
         if until is not None and until > self._now:
             self._now = until
 
     def step(self) -> bool:
         """Execute a single (non-cancelled) event.  Returns ``False`` when the
         queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                self._cancelled -= 1
                 continue
-            self._now = max(self._now, event.time)
-            event.callback(*event.args)
+            entry[2] = _FIRED
+            time = entry[0]
+            if time > self._now:
+                self._now = time
+            callback(*entry[3])
             self._events_processed += 1
             return True
         return False
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""
+        # Mark surviving entries as retired so a late cancel() on one of
+        # their handles cannot skew the cancelled-entry accounting.
+        for entry in self._heap:
+            if entry[2] is not None:
+                entry[2] = _FIRED
         self._heap.clear()
+        self._cancelled = 0

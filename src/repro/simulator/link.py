@@ -104,8 +104,11 @@ class SteppedRate(CapacityModel):
     def bits_between(self, t0: float, t1: float) -> float:
         if t1 <= t0:
             return 0.0
+        # Interior step boundaries via bisect instead of a linear scan.
+        lo = bisect.bisect_right(self._times, t0)
+        hi = bisect.bisect_left(self._times, t1)
         total = 0.0
-        boundaries = [t0] + [t for t in self._times if t0 < t < t1] + [t1]
+        boundaries = [t0, *self._times[lo:hi], t1]
         for a, b in zip(boundaries, boundaries[1:]):
             total += self.rate_at(a) * (b - a)
         return total
@@ -132,6 +135,31 @@ class SquareWaveRate(CapacityModel):
         first, second = ((self.low_bps, self.high_bps) if self.start_low
                          else (self.high_bps, self.low_bps))
         return first if phase == 0 else second
+
+    def bits_between(self, t0: float, t1: float) -> float:
+        """Closed form: whole half-periods plus the two partial edges.
+
+        Replaces the generic 1 ms numerical integration (15 000 ``rate_at``
+        calls for a 15 s window) with exact O(1) arithmetic.
+        """
+        if t1 <= t0:
+            return 0.0
+        return self._bits_from_zero(t1) - self._bits_from_zero(t0)
+
+    def _bits_from_zero(self, t: float) -> float:
+        """Exact capacity integral over ``[0, t]``."""
+        if t <= 0.0:
+            return 0.0
+        h = self.half_period
+        first, second = ((self.low_bps, self.high_bps) if self.start_low
+                         else (self.high_bps, self.low_bps))
+        n_halves = int(t / h)
+        pair_bits = (first + second) * h
+        total = (n_halves // 2) * pair_bits + (n_halves % 2) * first * h
+        remainder = t - n_halves * h
+        if remainder > 0.0:
+            total += remainder * (first if n_halves % 2 == 0 else second)
+        return total
 
 
 # --------------------------------------------------------------------------
@@ -195,12 +223,9 @@ class Link:
         self.delivered_packets += 1
         if self.monitor is not None:
             self.monitor.record_departure(now, packet)
-        if self.dst is None:
-            return
-        if self.prop_delay > 0:
-            self.env.schedule(self.prop_delay, self.dst.receive, packet)
-        else:
-            self.env.schedule(0.0, self.dst.receive, packet)
+        dst = self.dst
+        if dst is not None:
+            self.env.schedule(self.prop_delay, dst.receive, packet)
 
     # ------------------------------------------------------------ capacity
     def capacity_bps(self, now: float) -> float:
@@ -301,7 +326,12 @@ class OpportunityLink(Link):
         """Number of opportunities with timestamp strictly before ``t``."""
         if t <= 0:
             return 0
-        cycle, within = divmod(t, self._trace_span)
+        span = self._trace_span
+        if t < span:
+            # Fast path for the first replay cycle (``divmod(t, span)`` is
+            # exactly ``(0, t)`` here, so this is bit-identical).
+            return bisect.bisect_left(self._times, t)
+        cycle, within = divmod(t, span)
         return int(cycle) * len(self._times) + bisect.bisect_left(self._times, within)
 
     def start(self) -> None:

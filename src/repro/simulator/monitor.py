@@ -12,6 +12,13 @@ The paper reports three families of metrics:
 :class:`FlowStats` captures the first two at the receiver;
 :class:`LinkMonitor` captures link-side time series and the utilisation
 denominator.
+
+Hot-path note: both classes record one sample per delivered packet, so they
+sit directly on the per-packet pipeline.  Samples are appended to flat
+parallel lists (one float per field) rather than wrapped in per-sample
+objects; the metric accessors bin and aggregate those lists with vectorised
+numpy.  :class:`DeliveryRecord` remains as a lazily materialised view for
+callers that want per-packet objects.
 """
 
 from __future__ import annotations
@@ -26,9 +33,13 @@ import numpy as np
 from repro.simulator.packet import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryRecord:
-    """One delivered data packet as observed by the receiver."""
+    """One delivered data packet as observed by the receiver.
+
+    Materialised on demand from :attr:`FlowStats.records`; the hot path
+    stores the same fields in flat arrays instead.
+    """
 
     recv_time: float
     sent_time: float
@@ -41,30 +52,62 @@ class DeliveryRecord:
         return max(self.recv_time - self.sent_time, 0.0)
 
 
+def _bin_totals(times: Sequence[float], weights, t0: float, t1: float,
+                bin_size: float, n_bins: int) -> np.ndarray:
+    """Sum ``weights`` into ``n_bins`` fixed-width bins over ``[t0, t1]``.
+
+    Mirrors the historical per-record loop exactly: samples outside
+    ``[t0, t1]`` are skipped and the final bin is right-inclusive.
+    """
+    times = np.asarray(times, dtype=float)
+    totals = np.zeros(n_bins)
+    if times.size == 0:
+        return totals
+    keep = (times >= t0) & (times <= t1)
+    idx = ((times[keep] - t0) / bin_size).astype(int)
+    np.minimum(idx, n_bins - 1, out=idx)
+    if weights is None:
+        np.add.at(totals, idx, 1.0)
+    else:
+        np.add.at(totals, idx, np.asarray(weights, dtype=float)[keep])
+    return totals
+
+
 class FlowStats:
     """Per-flow delivery statistics collected at the receiver."""
 
     def __init__(self, flow_id: int):
         self.flow_id = flow_id
-        self.records: List[DeliveryRecord] = []
+        self.recv_times: List[float] = []
+        self.sent_times: List[float] = []
+        self.sizes: List[int] = []
+        self.queuing_delays: List[float] = []
         self.bytes_received = 0
         self.first_recv_time: Optional[float] = None
         self.last_recv_time: Optional[float] = None
         self.completion_time: Optional[float] = None
 
     def record(self, packet: Packet, now: float) -> None:
-        rec = DeliveryRecord(
-            recv_time=now,
-            sent_time=packet.sent_time,
-            size=packet.size,
-            queuing_delay=packet.total_queuing_delay,
-            flow_id=self.flow_id,
-        )
-        self.records.append(rec)
+        self.recv_times.append(now)
+        self.sent_times.append(packet.sent_time)
+        self.sizes.append(packet.size)
+        self.queuing_delays.append(packet.total_queuing_delay)
         self.bytes_received += packet.size
         if self.first_recv_time is None:
             self.first_recv_time = now
         self.last_recv_time = now
+
+    # ------------------------------------------------------------ views
+    def __len__(self) -> int:
+        return len(self.recv_times)
+
+    @property
+    def records(self) -> List[DeliveryRecord]:
+        """Per-packet view of the flat sample arrays (materialised lazily)."""
+        return [DeliveryRecord(recv_time=r, sent_time=s, size=size,
+                               queuing_delay=q, flow_id=self.flow_id)
+                for r, s, size, q in zip(self.recv_times, self.sent_times,
+                                         self.sizes, self.queuing_delays)]
 
     # ------------------------------------------------------------ metrics
     def throughput_bps(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
@@ -73,7 +116,11 @@ class FlowStats:
             t1 = self.last_recv_time if self.last_recv_time is not None else t0
         if t1 <= t0:
             return 0.0
-        total = sum(r.size for r in self.records if t0 <= r.recv_time <= t1)
+        # recv_times is nondecreasing (samples are appended at receive time),
+        # so the window is a contiguous slice.
+        lo = bisect.bisect_left(self.recv_times, t0)
+        hi = bisect.bisect_right(self.recv_times, t1)
+        total = sum(self.sizes[lo:hi])
         return total * 8.0 / (t1 - t0)
 
     def delays(self, kind: str = "one_way") -> np.ndarray:
@@ -83,9 +130,11 @@ class FlowStats:
         per-packet delay) or ``"queuing"`` (bottleneck queuing only).
         """
         if kind == "one_way":
-            return np.array([r.one_way_delay for r in self.records])
+            recv = np.asarray(self.recv_times, dtype=float)
+            sent = np.asarray(self.sent_times, dtype=float)
+            return np.maximum(recv - sent, 0.0)
         if kind == "queuing":
-            return np.array([r.queuing_delay for r in self.records])
+            return np.asarray(self.queuing_delays, dtype=float)
         raise ValueError(f"unknown delay kind: {kind!r}")
 
     def delay_percentile(self, pct: float, kind: str = "one_way") -> float:
@@ -104,33 +153,27 @@ class FlowStats:
                               t0: float = 0.0,
                               t1: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
         """Binned throughput time series ``(bin_centers, rates_bps)``."""
-        if not self.records:
+        if not self.recv_times:
             return np.array([]), np.array([])
         if t1 is None:
-            t1 = self.records[-1].recv_time
+            t1 = self.recv_times[-1]
         n_bins = max(int(math.ceil((t1 - t0) / bin_size)), 1)
         edges = t0 + np.arange(n_bins + 1) * bin_size
-        totals = np.zeros(n_bins)
-        for rec in self.records:
-            if rec.recv_time < t0 or rec.recv_time > t1:
-                continue
-            idx = min(int((rec.recv_time - t0) / bin_size), n_bins - 1)
-            totals[idx] += rec.size
+        totals = _bin_totals(self.recv_times, self.sizes, t0, t1,
+                             bin_size, n_bins)
         centers = (edges[:-1] + edges[1:]) / 2.0
         return centers, totals * 8.0 / bin_size
 
     def queuing_delay_timeseries(self, bin_size: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
         """Binned mean queuing delay time series ``(bin_centers, delay_s)``."""
-        if not self.records:
+        if not self.recv_times:
             return np.array([]), np.array([])
-        t_end = self.records[-1].recv_time
+        t_end = self.recv_times[-1]
         n_bins = max(int(math.ceil(t_end / bin_size)), 1)
-        sums = np.zeros(n_bins)
-        counts = np.zeros(n_bins)
-        for rec in self.records:
-            idx = min(int(rec.recv_time / bin_size), n_bins - 1)
-            sums[idx] += rec.queuing_delay
-            counts[idx] += 1
+        sums = _bin_totals(self.recv_times, self.queuing_delays, 0.0, t_end,
+                           bin_size, n_bins)
+        counts = _bin_totals(self.recv_times, None, 0.0, t_end,
+                             bin_size, n_bins)
         centers = (np.arange(n_bins) + 0.5) * bin_size
         with np.errstate(invalid="ignore", divide="ignore"):
             means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
@@ -138,7 +181,12 @@ class FlowStats:
 
 
 class LinkMonitor:
-    """Records departures, drops, queue occupancy and offered capacity."""
+    """Records departures, drops, queue occupancy and offered capacity.
+
+    Per-event callbacks are plain list appends; queue samples land in two
+    parallel flat lists (``queue_sample_times`` / ``queue_sample_backlogs``)
+    with ``queue_samples`` kept as a zipped compatibility view.
+    """
 
     def __init__(self, name: str = "link", sample_interval: float = 0.05):
         self.name = name
@@ -148,7 +196,8 @@ class LinkMonitor:
         self.drop_times: List[float] = []
         self.opportunity_times: List[float] = []
         self.opportunity_bytes = 0
-        self.queue_samples: List[tuple[float, int]] = []
+        self.queue_sample_times: List[float] = []
+        self.queue_sample_backlogs: List[int] = []
 
     # ------------------------------------------------------------ callbacks
     def record_departure(self, now: float, packet: Packet) -> None:
@@ -163,7 +212,13 @@ class LinkMonitor:
         self.opportunity_bytes += size_bytes
 
     def record_queue(self, now: float, backlog_packets: int) -> None:
-        self.queue_samples.append((now, backlog_packets))
+        self.queue_sample_times.append(now)
+        self.queue_sample_backlogs.append(backlog_packets)
+
+    @property
+    def queue_samples(self) -> List[tuple[float, int]]:
+        """``(time, backlog_packets)`` pairs (compatibility view)."""
+        return list(zip(self.queue_sample_times, self.queue_sample_backlogs))
 
     # ------------------------------------------------------------ metrics
     def delivered_bytes(self, t0: float = 0.0, t1: float = math.inf) -> int:
@@ -188,12 +243,8 @@ class LinkMonitor:
         if t1 is None:
             t1 = self.departure_times[-1]
         n_bins = max(int(math.ceil(t1 / bin_size)), 1)
-        totals = np.zeros(n_bins)
-        for t, size in zip(self.departure_times, self.departure_bytes):
-            if t > t1:
-                break
-            idx = min(int(t / bin_size), n_bins - 1)
-            totals[idx] += size
+        totals = _bin_totals(self.departure_times, self.departure_bytes,
+                             0.0, t1, bin_size, n_bins)
         centers = (np.arange(n_bins) + 0.5) * bin_size
         return centers, totals * 8.0 / bin_size
 

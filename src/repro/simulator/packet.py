@@ -71,7 +71,7 @@ def apply_ce(codepoint: ECN) -> ECN:
     return codepoint
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A data packet travelling through the simulator.
 
@@ -119,7 +119,7 @@ class Packet:
         return max(self.dequeue_time - self.enqueue_time, 0.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """An acknowledgement flowing back to the sender.
 
@@ -161,7 +161,110 @@ def is_ack(packet: object) -> bool:
     return isinstance(packet, Ack)
 
 
-@dataclass
+class PacketPool:
+    """Freelist recycling :class:`Packet` and :class:`Ack` objects.
+
+    The per-packet pipeline allocates one ``Packet`` per transmission and one
+    ``Ack`` per delivery; at hot-path event rates that allocation churn is
+    measurable.  The sender acquires data packets here and the receiver
+    releases them once their fields have been copied into the flow statistics
+    (and vice versa for ACKs), so each object's lifetime ends at a single
+    well-defined point and recycling cannot alias a live reference.
+
+    Determinism: ``acquire_*`` resets *every* field to exactly what the
+    corresponding constructor call would produce — including a fresh ``uid``
+    and the caller-supplied ``meta`` dict (never a cleared old one, since
+    in-band ``meta`` dicts may outlive their packet via
+    :class:`AckFeedback`).  Pooling therefore changes which Python object
+    carries the data, never the data itself.
+    """
+
+    __slots__ = ("max_size", "_packets", "_acks", "reused", "created")
+
+    def __init__(self, max_size: int = 2048):
+        self.max_size = max_size
+        self._packets: list[Packet] = []
+        self._acks: list[Ack] = []
+        self.reused = 0
+        self.created = 0
+
+    # ------------------------------------------------------------ packets
+    def acquire_packet(self, flow_id: int, seq: int, size: int, ecn: ECN,
+                       sent_time: float, is_retransmission: bool,
+                       abc_capable: bool, meta: dict) -> Packet:
+        pool = self._packets
+        if pool:
+            packet = pool.pop()
+            self.reused += 1
+            packet.flow_id = flow_id
+            packet.seq = seq
+            packet.size = size
+            packet.ecn = ecn
+            packet.sent_time = sent_time
+            packet.is_retransmission = is_retransmission
+            packet.abc_capable = abc_capable
+            packet.enqueue_time = 0.0
+            packet.dequeue_time = 0.0
+            packet.total_queuing_delay = 0.0
+            packet.hop_count = 0
+            packet.meta = meta
+            packet.uid = next(_packet_ids)
+            return packet
+        self.created += 1
+        return Packet(flow_id=flow_id, seq=seq, size=size, ecn=ecn,
+                      sent_time=sent_time, is_retransmission=is_retransmission,
+                      abc_capable=abc_capable, meta=meta)
+
+    def release_packet(self, packet: Packet) -> None:
+        if len(self._packets) < self.max_size:
+            self._packets.append(packet)
+
+    # ------------------------------------------------------------ acks
+    def acquire_ack(self, flow_id: int, seq: int, size: int, accel: bool,
+                    ece: bool, data_sent_time: float, data_size: int,
+                    ack_sent_time: float, cumulative_ack: int,
+                    sent_time: float, meta: dict) -> Ack:
+        pool = self._acks
+        if pool:
+            ack = pool.pop()
+            self.reused += 1
+            ack.flow_id = flow_id
+            ack.seq = seq
+            ack.size = size
+            ack.accel = accel
+            ack.ece = ece
+            ack.data_sent_time = data_sent_time
+            ack.data_size = data_size
+            ack.ack_sent_time = ack_sent_time
+            ack.cumulative_ack = cumulative_ack
+            ack.ecn = ECN.NOT_ECT
+            ack.meta = meta
+            ack.uid = next(_packet_ids)
+            ack.sent_time = sent_time
+            ack.enqueue_time = 0.0
+            ack.dequeue_time = 0.0
+            ack.total_queuing_delay = 0.0
+            ack.is_retransmission = False
+            ack.abc_capable = False
+            ack.hop_count = 0
+            return ack
+        self.created += 1
+        return Ack(flow_id=flow_id, seq=seq, size=size, accel=accel, ece=ece,
+                   data_sent_time=data_sent_time, data_size=data_size,
+                   ack_sent_time=ack_sent_time, cumulative_ack=cumulative_ack,
+                   sent_time=sent_time, meta=meta)
+
+    def release_ack(self, ack: Ack) -> None:
+        if len(self._acks) < self.max_size:
+            self._acks.append(ack)
+
+
+#: Process-wide pool shared by all senders/receivers (worker processes each
+#: get their own copy, so pooled sweeps stay independent).
+packet_pool = PacketPool()
+
+
+@dataclass(slots=True)
 class AckFeedback:
     """Normalised view of an ACK handed to congestion-control algorithms.
 

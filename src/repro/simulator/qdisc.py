@@ -74,7 +74,9 @@ class Qdisc:
             return None
         packet = self._queue.popleft()
         packet.dequeue_time = now
-        packet.total_queuing_delay += max(now - packet.enqueue_time, 0.0)
+        waited = now - packet.enqueue_time
+        if waited > 0.0:
+            packet.total_queuing_delay += waited
         self.backlog_bytes -= packet.size
         self.backlog_packets -= 1
         return packet

@@ -38,6 +38,24 @@ def test_trace_rate_timeseries_shape():
     assert np.all(rates >= 0)
 
 
+def test_trace_bits_between_counts_opportunities():
+    trace = CellularTrace([0.0, 0.1, 0.2, 0.3, 0.9])
+    per_opp = trace.bytes_per_opportunity * 8.0
+    assert trace.bits_between(0.0, 1.0) == pytest.approx(5 * per_opp)
+    # Half-open window: an opportunity exactly at t1 is excluded, one at t0
+    # is included, matching the searchsorted cumulative-count convention.
+    assert trace.bits_between(0.1, 0.3) == pytest.approx(2 * per_opp)
+    assert trace.bits_between(0.5, 0.5) == 0.0
+    assert trace.bits_between(1.0, 0.0) == 0.0
+
+
+def test_trace_bits_between_consistent_with_rate_in_window():
+    trace = CellularTrace([i * 0.003 for i in range(500)])
+    for t0, t1 in [(0.0, 0.5), (0.25, 1.0), (0.1, 0.11)]:
+        assert trace.bits_between(t0, t1) == pytest.approx(
+            trace.rate_in_window(t0, t1) * (t1 - t0))
+
+
 def test_trace_scaled_changes_rate():
     trace = CellularTrace([i * 0.001 for i in range(100)])
     double = trace.scaled(2.0)

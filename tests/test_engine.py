@@ -158,3 +158,77 @@ def test_callback_args_are_passed():
     loop.schedule(0.5, lambda a, b: received.append((a, b)), 1, "two")
     loop.run()
     assert received == [(1, "two")]
+
+
+# ------------------------------------------------------------ lazy deletion
+def test_pending_counts_live_events_only():
+    loop = EventLoop()
+    handles = [loop.schedule(1.0, lambda: None) for _ in range(10)]
+    assert loop.pending == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert loop.pending == 6
+    assert loop.cancelled_pending == 4
+
+
+def test_heap_compaction_bounds_memory_under_cancel_churn():
+    loop = EventLoop()
+    loop.schedule(1e9, lambda: None)  # one live far-future event
+    # The RTO pattern: arm a timer, cancel it, arm the next one.  Without
+    # compaction all 10 000 dead entries would linger until popped.
+    for i in range(10_000):
+        loop.schedule(1e6 + i, lambda: None).cancel()
+    assert loop.compactions > 0
+    assert len(loop._heap) < 1_000
+    assert loop.pending == 1
+    assert loop.cancelled_pending < 1_000
+
+
+def test_compaction_preserves_firing_order():
+    loop = EventLoop()
+    fired = []
+    expected = []
+    for i in range(300):
+        handle = loop.schedule(1.0 + 0.001 * i, fired.append, i)
+        if i % 2:
+            handle.cancel()
+        else:
+            expected.append(i)
+    # Force compaction with extra cancelled churn, then check ordering.
+    for _ in range(500):
+        loop.schedule(50.0, lambda: None).cancel()
+    assert loop.compactions >= 1
+    loop.run()
+    assert fired == expected
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    loop = EventLoop()
+    handle = loop.schedule(0.5, lambda: None)
+    loop.schedule(1.0, lambda: None)
+    loop.run(until=0.7)
+    handle.cancel()  # the event already fired; accounting must not change
+    assert handle.cancelled
+    assert loop.pending == 1
+    assert loop.cancelled_pending == 0
+
+
+def test_cancel_after_clear_does_not_corrupt_pending():
+    loop = EventLoop()
+    handle = loop.schedule(1.0, lambda: None)
+    loop.clear()
+    handle.cancel()
+    assert loop.pending == 0
+    assert loop.cancelled_pending == 0
+
+
+def test_cancelled_events_popped_during_run_update_accounting():
+    loop = EventLoop()
+    fired = []
+    handles = [loop.schedule(0.1 * (i + 1), fired.append, i) for i in range(5)]
+    handles[1].cancel()
+    handles[3].cancel()
+    loop.run()
+    assert fired == [0, 2, 4]
+    assert loop.pending == 0
+    assert loop.cancelled_pending == 0

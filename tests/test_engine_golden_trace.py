@@ -1,0 +1,125 @@
+"""Golden per-event determinism trace for the engine hot path.
+
+The hot-path optimisations (tuple-based heap entries, lazy cancellation with
+compaction, slotted packets, flat-array monitors) are only admissible if they
+leave the simulation's event sequence untouched.  This test replays a small
+but representative scenario — two flows (ABC + Cubic) over a trace-driven
+cellular bottleneck, exercising opportunity firing, ACK clocking, RTO
+arm/cancel churn and queue sampling — while recording every fired event as
+``(repr(now), callback qualname)``, and compares the sequence against a
+golden trace captured from the seed (pre-optimisation) engine.
+
+Any divergence — an event firing at a different time, in a different order,
+or a different number of events — fails loudly.  Regenerate the golden file
+only for an *intentional* semantic change::
+
+    PYTHONPATH=src python tests/test_engine_golden_trace.py --regenerate
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.cc import make_cc
+from repro.cellular.synthetic import lte_showcase_trace
+from repro.core.params import ABCParams
+from repro.core.router import ABCRouterQdisc
+from repro.simulator.engine import EventLoop
+from repro.simulator.scenario import Scenario
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_event_trace.json"
+
+DURATION = 3.0
+TRACE_SEED = 11
+
+
+class RecordingLoop(EventLoop):
+    """EventLoop that logs ``(repr(now), callback qualname)`` per fired event.
+
+    ``schedule`` and ``schedule_at`` are the engine's only entry points (both
+    construct heap entries directly, for speed), so wrapping callbacks in
+    both captures the complete event sequence.
+    """
+
+    def __init__(self, log: list):
+        super().__init__()
+        self._log = log
+
+    def _wrap(self, callback):
+        name = getattr(callback, "__qualname__",
+                       getattr(callback, "__name__", str(callback)))
+
+        def wrapped(*a, _cb=callback, _name=name):
+            self._log.append((repr(self.now), _name))
+            _cb(*a)
+
+        return wrapped
+
+    def schedule(self, delay, callback, *args):
+        return super().schedule(delay, self._wrap(callback), *args)
+
+    def schedule_at(self, time, callback, *args):
+        return super().schedule_at(time, self._wrap(callback), *args)
+
+
+def run_traced_scenario() -> list:
+    """Run the canonical golden scenario and return the event log."""
+    log: list = []
+    trace = lte_showcase_trace(duration=DURATION, seed=TRACE_SEED)
+    scenario = Scenario()
+    scenario.env = RecordingLoop(log)
+    params = ABCParams()
+    link = scenario.add_cellular_link(
+        trace, qdisc=ABCRouterQdisc(params=params, buffer_packets=100),
+        name="cell")
+    scenario.add_flow(make_cc("abc", params=params), [link], rtt=0.08,
+                      label="abc")
+    scenario.add_flow(make_cc("cubic"), [link], rtt=0.08, label="cubic")
+    scenario.run(DURATION)
+    log.append(("final_now", repr(scenario.env.now)))
+    log.append(("events_processed", str(scenario.env.events_processed)))
+    return log
+
+
+def _digest(log: list) -> str:
+    payload = "\n".join(f"{t} {name}" for t, name in log)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_event_sequence_matches_seed_engine():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    log = run_traced_scenario()
+    # Head/tail first: a readable diff when something diverges.
+    head = [list(entry) for entry in log[:len(golden["head"])]]
+    tail = [list(entry) for entry in log[-len(golden["tail"]):]]
+    assert head == golden["head"]
+    assert tail == golden["tail"]
+    assert len(log) == golden["n_entries"]
+    # Then the full sequence, compressed to a digest.
+    assert _digest(log) == golden["sha256"]
+
+
+def _regenerate() -> None:
+    log = run_traced_scenario()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps({
+        "description": "per-event (time, callback) trace of the golden "
+                       "scenario; regenerate only for intentional changes",
+        "duration": DURATION,
+        "trace_seed": TRACE_SEED,
+        "n_entries": len(log),
+        "sha256": _digest(log),
+        "head": [list(entry) for entry in log[:80]],
+        "tail": [list(entry) for entry in log[-20:]],
+    }, indent=1))
+    print(f"wrote {GOLDEN_PATH} ({len(log)} entries, sha {_digest(log)[:12]})")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

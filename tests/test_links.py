@@ -59,6 +59,49 @@ def test_square_wave_alternates():
     assert model.rate_at(1.25) == 24e6
 
 
+# ------------------------------------- closed forms vs generic integration
+def _generic_bits_between(model, t0, t1, step=0.0001):
+    """The CapacityModel base-class integrator, at a finer step so it can
+    serve as the numerical reference for the closed forms."""
+    if t1 <= t0:
+        return 0.0
+    total = 0.0
+    t = t0
+    while t < t1:
+        dt = min(step, t1 - t)
+        total += model.rate_at(t) * dt
+        t += dt
+    return total
+
+
+@pytest.mark.parametrize("t0,t1", [
+    (0.0, 0.3), (0.0, 0.5), (0.0, 1.0), (0.2, 0.4), (0.3, 1.7),
+    (0.5, 2.5), (1.25, 7.75), (0.0, 10.0), (3.0, 3.0),
+])
+def test_square_wave_closed_form_matches_integration(t0, t1):
+    for start_low in (False, True):
+        model = SquareWaveRate(12e6, 24e6, half_period=0.5,
+                               start_low=start_low)
+        assert model.bits_between(t0, t1) == pytest.approx(
+            _generic_bits_between(model, t0, t1), rel=1e-3)
+
+
+def test_square_wave_closed_form_is_additive():
+    model = SquareWaveRate(5e6, 20e6, half_period=0.4)
+    whole = model.bits_between(0.0, 6.0)
+    split = sum(model.bits_between(i * 0.3, (i + 1) * 0.3) for i in range(20))
+    assert split == pytest.approx(whole, rel=1e-12)
+
+
+@pytest.mark.parametrize("t0,t1", [
+    (0.0, 12.0), (0.5, 4.5), (4.9, 5.1), (6.0, 25.0), (11.0, 30.0),
+])
+def test_stepped_rate_bits_between_matches_integration(t0, t1):
+    model = SteppedRate([(0.0, 1e6), (5.0, 2e6), (10.0, 4e6)])
+    assert model.bits_between(t0, t1) == pytest.approx(
+        _generic_bits_between(model, t0, t1), rel=1e-3)
+
+
 def test_square_wave_start_low():
     model = SquareWaveRate(12e6, 24e6, half_period=0.5, start_low=True)
     assert model.rate_at(0.0) == 12e6

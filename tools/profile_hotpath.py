@@ -1,0 +1,91 @@
+"""cProfile the per-packet hot path and dump the top-N functions.
+
+Profiles one of the canonical hot-path workloads from
+``benchmarks/bench_engine_hotpath.py`` (or any scheme over the showcase LTE
+trace) and prints the top functions by ``tottime`` (or any other
+:mod:`pstats` sort key) — the profile-guided half of the hot-path workflow::
+
+    PYTHONPATH=src python tools/profile_hotpath.py                    # fig1 ABC
+    PYTHONPATH=src python tools/profile_hotpath.py --scheme cubic
+    PYTHONPATH=src python tools/profile_hotpath.py --workload dispatch
+    PYTHONPATH=src python tools/profile_hotpath.py --sort cumulative --top 40
+    PYTHONPATH=src python tools/profile_hotpath.py --out profile.pstats
+
+A saved ``--out`` file can be explored interactively with
+``python -m pstats profile.pstats`` or rendered by snakeviz/gprof2dot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def profile_scenario(scheme: str, duration: float) -> cProfile.Profile:
+    from repro.cellular.synthetic import lte_showcase_trace
+    from repro.experiments.runner import run_single_bottleneck
+
+    trace = lte_showcase_trace(duration=duration, seed=7)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_single_bottleneck(scheme, trace, rtt=0.1, duration=duration,
+                          buffer_packets=250, seed=0)
+    profiler.disable()
+    return profiler
+
+
+def profile_workload(name: str) -> cProfile.Profile:
+    from bench_engine_hotpath import WORKLOADS
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    WORKLOADS[name]()
+    profiler.disable()
+    return profiler
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the simulation hot path")
+    parser.add_argument("--scheme", default="abc",
+                        help="scheme to run over the LTE showcase trace "
+                             "(default: abc)")
+    parser.add_argument("--workload", default=None,
+                        choices=["dispatch", "cancel_churn", "fig1_abc",
+                                 "fig2_cubic"],
+                        help="profile a bench_engine_hotpath workload "
+                             "instead of a scheme scenario")
+    parser.add_argument("--duration", type=float, default=15.0,
+                        help="simulated seconds for scheme scenarios")
+    parser.add_argument("--top", type=int, default=25,
+                        help="number of rows to print")
+    parser.add_argument("--sort", default="tottime",
+                        help="pstats sort key (tottime, cumulative, calls, …)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also dump raw pstats data to this file")
+    args = parser.parse_args(argv)
+
+    if args.workload is not None:
+        profiler = profile_workload(args.workload)
+        title = f"workload {args.workload}"
+    else:
+        profiler = profile_scenario(args.scheme, args.duration)
+        title = f"{args.scheme} over LTE showcase, {args.duration:g}s"
+
+    print(f"=== hot-path profile: {title} (top {args.top} by {args.sort}) ===")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
