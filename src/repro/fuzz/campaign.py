@@ -1,0 +1,163 @@
+"""Campaign driver: fan fuzz scenarios out through the sweep runtime.
+
+:func:`fuzz_cell` is the module-level job function — one scenario in, one
+serializable verdict out — so campaigns parallelise through the existing
+:class:`~repro.runtime.executor.SweepExecutor` (``--jobs``/``REPRO_JOBS``)
+and memoise through :class:`~repro.runtime.cache.ResultCache`
+(``REPRO_CACHE_DIR``) exactly like the paper-figure sweeps do.
+
+:func:`run_campaign` samples ``budget`` scenarios from a seeded
+:class:`~repro.fuzz.generator.ScenarioGen`, runs them, dedupes failures by
+(invariant, scenario signature), optionally shrinks one representative per
+failure group, and returns a *deterministic* report: same seed and budget →
+byte-identical JSON, regardless of worker count, cache state or wall-clock.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fuzz.generator import FuzzScenario, ScenarioGen, build_scenario
+from repro.fuzz.invariants import (CheckContext, CwndProbe, INVARIANT_NAMES,
+                                   Violation, run_invariants,
+                                   scenario_summary)
+from repro.fuzz.shrink import corpus_entry, save_corpus_entry, shrink_scenario
+from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+
+#: Report schema version (bump on incompatible report changes).
+REPORT_FORMAT = 1
+
+
+def _run_once(fuzz: FuzzScenario):
+    """Build, instrument and run one scenario; returns (ctx, summary)."""
+    built = build_scenario(fuzz)
+    probe = CwndProbe(built)
+    result = built.scenario.run(fuzz.duration)
+    ctx = CheckContext(fuzz=fuzz, built=built, result=result,
+                       cwnd_samples=probe.samples)
+    return ctx, scenario_summary(built)
+
+
+def evaluate_scenario(fuzz: FuzzScenario,
+                      check_determinism: bool = True) -> Dict[str, Any]:
+    """Run one scenario through the full invariant suite.
+
+    Returns a picklable verdict dict.  When ``check_determinism`` is set the
+    simulation runs twice from scratch and the two run summaries must be
+    equal — the bit-for-bit property every sweep and cache hit relies on.
+    """
+    ctx, summary = _run_once(fuzz)
+    violations = run_invariants(ctx)
+    if check_determinism:
+        _, replay = _run_once(fuzz)
+        if replay != summary:
+            violations.append(Violation(
+                "determinism",
+                "two identical runs produced different summaries"))
+    return {
+        "scenario_id": fuzz.scenario_id,
+        "signature": fuzz.signature(),
+        "violations": [[v.invariant, v.message] for v in violations],
+        "summary": summary,
+    }
+
+
+def fuzz_cell(spec: dict, check_determinism: bool = True) -> Dict[str, Any]:
+    """Module-level sweep job: evaluate one serialized scenario.
+
+    Must stay module-level and take only picklable kwargs — parallel workers
+    receive it by reference and the result cache keys on its qualified name
+    plus the canonical encoding of ``spec``.
+    """
+    return evaluate_scenario(FuzzScenario.from_jsonable(spec),
+                             check_determinism=check_determinism)
+
+
+# ---------------------------------------------------------------------------
+# Campaign orchestration
+# ---------------------------------------------------------------------------
+def _still_fails(invariant: str, check_determinism: bool):
+    """Predicate factory for the shrinker: does ``invariant`` still trip?"""
+    def fails(candidate: FuzzScenario) -> bool:
+        verdict = evaluate_scenario(candidate,
+                                    check_determinism=check_determinism)
+        return any(name == invariant for name, _ in verdict["violations"])
+    return fails
+
+
+def run_campaign(budget: int, seed: int = 0,
+                 jobs: Optional[int | str] = None,
+                 executor: Optional[SweepExecutor] = None,
+                 check_determinism: bool = True,
+                 shrink: bool = True,
+                 shrink_attempts: int = 60,
+                 corpus_dir: Optional[Path] = None) -> Dict[str, Any]:
+    """Run a fuzzing campaign and return the (deterministic) report dict.
+
+    Failures are grouped by ``(invariant, scenario signature)``; each group
+    keeps its first (lowest scenario id) example, which is optionally
+    shrunk in-process and — when ``corpus_dir`` is given — written out as a
+    corpus entry ready to commit under ``tests/data/fuzz_corpus/``.
+    """
+    generator = ScenarioGen(seed)
+    scenarios = generator.sample_many(budget)
+    sweep_jobs = [SweepJob(func=fuzz_cell,
+                           kwargs={"spec": fuzz.to_jsonable(),
+                                   "check_determinism": check_determinism},
+                           label=f"fuzz-{seed}-{fuzz.scenario_id}")
+                  for fuzz in scenarios]
+    runner = get_executor(executor, jobs=jobs)
+    verdicts = runner.run(sweep_jobs)
+
+    # Group violations by failure mode; keep the first example of each.
+    groups: Dict[tuple, Dict[str, Any]] = {}
+    violating_scenarios = 0
+    for fuzz, verdict in zip(scenarios, verdicts):
+        if not verdict["violations"]:
+            continue
+        violating_scenarios += 1
+        for invariant, message in verdict["violations"]:
+            key = (invariant, verdict["signature"])
+            group = groups.setdefault(key, {
+                "invariant": invariant,
+                "signature": verdict["signature"],
+                "count": 0,
+                "first_scenario_id": fuzz.scenario_id,
+                "example_message": message,
+                "example_scenario": fuzz.to_jsonable(),
+            })
+            group["count"] += 1
+
+    failures = [groups[key] for key in sorted(groups)]
+    for group in failures:
+        example = FuzzScenario.from_jsonable(group["example_scenario"])
+        if shrink:
+            minimized = shrink_scenario(
+                example, _still_fails(group["invariant"], check_determinism),
+                max_attempts=shrink_attempts)
+            group["minimized_scenario"] = minimized.to_jsonable()
+        if corpus_dir is not None:
+            target = FuzzScenario.from_jsonable(
+                group.get("minimized_scenario", group["example_scenario"]))
+            verdict = evaluate_scenario(target,
+                                        check_determinism=check_determinism)
+            entry = corpus_entry(
+                target,
+                violations=[name for name, _ in verdict["violations"]],
+                description=(f"fuzz seed={seed} budget={budget}: "
+                             f"{group['invariant']} on {group['signature']}"))
+            save_corpus_entry(
+                entry, Path(corpus_dir) /
+                f"{group['invariant']}-{target.scenario_id}.json")
+
+    return {
+        "format": REPORT_FORMAT,
+        "budget": budget,
+        "seed": seed,
+        "invariants": list(INVARIANT_NAMES),
+        "scenarios_run": len(scenarios),
+        "violating_scenarios": violating_scenarios,
+        "failure_groups": failures,
+        "clean": not failures,
+    }

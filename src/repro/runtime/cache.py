@@ -148,7 +148,14 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except (pickle.UnpicklingError, EOFError, OSError, AttributeError):
+        except Exception:
+            # A torn, truncated or garbage entry must behave as a miss (and
+            # be deleted so the recomputed value can be rewritten) — never
+            # crash a sweep.  Unpickling corrupt bytes can raise nearly
+            # anything (UnpicklingError, EOFError, ImportError, IndexError,
+            # ValueError, ...), so the net is deliberately wide; put() going
+            # through a tempfile + rename means entries are never *written*
+            # torn, this guards against external truncation/corruption.
             path.unlink(missing_ok=True)
             self.misses += 1
             return False, None

@@ -149,10 +149,25 @@ class SweepSpec:
             for name, spec in self.traces.items()}
         cells: List[SweepCell] = []
         jobs: List[SweepJob] = []
+        seen_cells: set = set()
         for scheme in self.schemes:
             for trace_name, link_spec in trace_specs.items():
                 for seed in self.seeds:
                     for overrides in self.param_grid:
+                        # A duplicate coordinate would silently run (and be
+                        # aggregated) twice — e.g. a scheme listed under two
+                        # spellings, a repeated seed, or two identical
+                        # param_grid entries.  Fail loudly instead.
+                        key = (str(scheme).lower(), trace_name, seed,
+                               tuple(sorted((str(k), repr(v))
+                                            for k, v in overrides.items())))
+                        if key in seen_cells:
+                            raise ValueError(
+                                f"duplicate sweep cell: scheme={scheme!r}, "
+                                f"trace={trace_name!r}, seed={seed}, "
+                                f"overrides={dict(overrides)!r} — check the "
+                                f"schemes/seeds/param_grid axes for repeats")
+                        seen_cells.add(key)
                         # Normalise the label inside the job kwargs so a
                         # mixed-case spelling hashes to the same cache key;
                         # the cell keeps the caller's spelling so grouped

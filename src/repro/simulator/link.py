@@ -18,6 +18,7 @@ and adds A-MPDU batching and block ACKs.
 from __future__ import annotations
 
 import bisect
+import random
 from typing import TYPE_CHECKING, Iterable, Optional, Protocol, Sequence
 
 from repro.simulator.engine import EventLoop
@@ -175,7 +176,10 @@ class Link:
 
     def __init__(self, env: EventLoop, qdisc: Optional[Qdisc] = None,
                  prop_delay: float = 0.0, name: str = "link",
-                 dst: Optional[Node] = None):
+                 dst: Optional[Node] = None, loss_rate: float = 0.0,
+                 loss_seed: int = 0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
         self.env = env
         self.qdisc = qdisc if qdisc is not None else FifoQdisc()
         self.qdisc.attach(self)
@@ -186,6 +190,15 @@ class Link:
         self.delivered_bytes = 0
         self.delivered_packets = 0
         self.dropped_packets = 0
+        #: Packets handed to :meth:`send` (the per-link conservation law's
+        #: left-hand side: arrived == delivered + queue drops + random-loss
+        #: drops + backlog + in-transmission).
+        self.arrived_packets = 0
+        #: Packets discarded by the random-loss process (disjoint from the
+        #: qdisc's queue-overflow/AQM drop counter).
+        self.random_loss_packets = 0
+        self.loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
 
     # ------------------------------------------------------------ wiring
     def connect(self, dst: Node) -> None:
@@ -198,7 +211,15 @@ class Link:
     def send(self, packet: Packet) -> None:
         """Called by the upstream node to hand a packet to this link."""
         now = self.env.now
+        self.arrived_packets += 1
         packet.hop_count += 1
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            # Independent random loss (lossy-wireless model): the packet
+            # vanishes before it ever reaches the queue.
+            self.random_loss_packets += 1
+            if self.monitor is not None:
+                self.monitor.record_drop(now, packet)
+            return
         accepted = self.qdisc.enqueue(packet, now)
         if not accepted:
             self.dropped_packets += 1
@@ -226,6 +247,17 @@ class Link:
         dst = self.dst
         if dst is not None:
             self.env.schedule(self.prop_delay, dst.receive, packet)
+
+    @property
+    def packets_in_transmission(self) -> int:
+        """Packets dequeued but not yet delivered downstream.
+
+        Trace-driven links deliver synchronously inside the delivery
+        opportunity, so the base count is 0; :class:`RateLink` overrides it
+        (a transmission spans ``size*8/rate`` of simulated time).  Used by
+        the fuzzing invariants' packet-conservation check.
+        """
+        return 0
 
     # ------------------------------------------------------------ capacity
     def capacity_bps(self, now: float) -> float:
@@ -256,10 +288,16 @@ class RateLink(Link):
 
     def __init__(self, env: EventLoop, capacity: CapacityModel,
                  qdisc: Optional[Qdisc] = None, prop_delay: float = 0.0,
-                 name: str = "rate-link", dst: Optional[Node] = None):
-        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name, dst=dst)
+                 name: str = "rate-link", dst: Optional[Node] = None,
+                 loss_rate: float = 0.0, loss_seed: int = 0):
+        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name,
+                         dst=dst, loss_rate=loss_rate, loss_seed=loss_seed)
         self.capacity = capacity
         self._busy = False
+
+    @property
+    def packets_in_transmission(self) -> int:
+        return 1 if self._busy else 0
 
     def _on_enqueue(self, now: float) -> None:
         if not self._busy:
@@ -301,8 +339,10 @@ class OpportunityLink(Link):
                  qdisc: Optional[Qdisc] = None, prop_delay: float = 0.0,
                  name: str = "cell-link", dst: Optional[Node] = None,
                  bytes_per_opportunity: int = MTU,
-                 capacity_window: float = 0.1):
-        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name, dst=dst)
+                 capacity_window: float = 0.1,
+                 loss_rate: float = 0.0, loss_seed: int = 0):
+        super().__init__(env, qdisc=qdisc, prop_delay=prop_delay, name=name,
+                         dst=dst, loss_rate=loss_rate, loss_seed=loss_seed)
         times = sorted(float(t) for t in opportunity_times)
         if not times:
             raise ValueError("opportunity_times must not be empty")
@@ -379,6 +419,24 @@ class OpportunityLink(Link):
             return 0.0
         count = self._index_at(t1) - self._index_at(t0)
         return count * self.bytes_per_opportunity * 8.0 / (t1 - t0)
+
+    def max_drain_interval(self, packets: int) -> float:
+        """Worst-case time for ``packets`` consecutive delivery opportunities.
+
+        A FIFO queue bounded at ``B`` packets drains any admitted packet
+        within ``B`` opportunities of its enqueue, so
+        ``max_drain_interval(B)`` upper-bounds the per-packet queuing delay
+        on this link.  Scans one full trace cycle (the replay is periodic,
+        so every window of ``packets`` opportunities appears there).
+        """
+        if packets <= 0:
+            raise ValueError("packets must be positive")
+        worst = 0.0
+        for i in range(len(self._times)):
+            span = self._opportunity_time(i + packets) - self._opportunity_time(i)
+            if span > worst:
+                worst = span
+        return worst
 
     def future_capacity_bps(self, now: float, horizon: float) -> float:
         """Capacity over ``[now, now+horizon]`` — used by PK-ABC (§6.6)."""

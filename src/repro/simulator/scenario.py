@@ -98,24 +98,35 @@ class Scenario:
 
     def add_cellular_link(self, trace: Union[CellularTrace, Sequence[float]],
                           qdisc: Optional[Qdisc] = None,
-                          name: Optional[str] = None) -> OpportunityLink:
-        """Add a Mahimahi-style trace-driven bottleneck link."""
+                          name: Optional[str] = None,
+                          loss_rate: float = 0.0,
+                          loss_seed: int = 0) -> OpportunityLink:
+        """Add a Mahimahi-style trace-driven bottleneck link.
+
+        ``loss_rate`` adds independent random packet loss (a lossy wireless
+        hop) on top of the queue-overflow drops; ``loss_seed`` seeds its RNG
+        so runs stay deterministic.
+        """
         if isinstance(trace, CellularTrace):
             times = trace.opportunity_times
             link_name = name or trace.name
         else:
             times = list(trace)
             link_name = name or f"cell-{len(self.links)}"
-        link = OpportunityLink(self.env, times, qdisc=qdisc, name=link_name)
+        link = OpportunityLink(self.env, times, qdisc=qdisc, name=link_name,
+                               loss_rate=loss_rate, loss_seed=loss_seed)
         return self._register_link(link, link_name)
 
     def add_rate_link(self, capacity: Union[float, CapacityModel],
                       qdisc: Optional[Qdisc] = None,
-                      name: Optional[str] = None) -> RateLink:
+                      name: Optional[str] = None,
+                      loss_rate: float = 0.0,
+                      loss_seed: int = 0) -> RateLink:
         """Add a rate-based link (constant or time-varying capacity)."""
         model = ConstantRate(capacity) if isinstance(capacity, (int, float)) else capacity
         link_name = name or f"link-{len(self.links)}"
-        link = RateLink(self.env, model, qdisc=qdisc, name=link_name)
+        link = RateLink(self.env, model, qdisc=qdisc, name=link_name,
+                        loss_rate=loss_rate, loss_seed=loss_seed)
         return self._register_link(link, link_name)
 
     def add_custom_link(self, link: Link, name: Optional[str] = None) -> Link:

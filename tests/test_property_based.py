@@ -279,3 +279,61 @@ def test_fluid_model_queue_nonnegative_and_bounded(delta, flows, initial):
     result = model.simulate(duration=5.0, step=5e-3, initial_delay=initial)
     assert (result.queuing_delay >= 0.0).all()
     assert (result.queuing_delay <= max(initial, result.fixed_point) + 1.0).all()
+
+
+# ------------------------------------------------------------ full scenarios
+# End-to-end property: ANY small valid scenario satisfies the fuzzing
+# invariant suite.  Reuses repro.fuzz.invariants rather than re-deriving the
+# checks; the fuzz campaign explores this space at scale, hypothesis owns
+# the corner-seeking (minimum rates, boundary RTTs, simultaneous starts).
+from repro.fuzz.generator import FlowSpec, FuzzScenario, LinkSpec, NATIVE
+from repro.fuzz.generator import build_scenario
+from repro.fuzz.invariants import CheckContext, CwndProbe, run_invariants
+
+# A fast subset of the scheme pool (one loss-based, one delay-based, one
+# AQM pairing, ABC itself, and one explicit-feedback router).
+_SCENARIO_SCHEMES = ("cubic", "vegas", "cubic+codel", "abc", "rcp")
+
+_link_specs = st.one_of(
+    st.builds(lambda rate, buf: LinkSpec(kind="constant",
+                                         params={"rate_bps": rate},
+                                         buffer_packets=buf),
+              st.floats(min_value=1e6, max_value=15e6),
+              st.sampled_from((10, 50, 250))),
+    st.builds(lambda low, ratio, period, buf: LinkSpec(
+                  kind="square",
+                  params={"low_bps": low, "high_bps": low * ratio,
+                          "half_period": period},
+                  buffer_packets=buf),
+              st.floats(min_value=1e6, max_value=6e6),
+              st.floats(min_value=1.5, max_value=3.0),
+              st.floats(min_value=0.2, max_value=0.8),
+              st.sampled_from((25, 100))),
+)
+
+_flow_specs = st.builds(
+    lambda rtt, start: FlowSpec(cc=NATIVE, rtt=rtt, start_time=start),
+    st.floats(min_value=0.02, max_value=0.2),
+    st.floats(min_value=0.0, max_value=0.75))
+
+_scenarios = st.builds(
+    lambda scheme, link, flows, sim_seed: FuzzScenario(
+        scenario_id=0, scheme=scheme, duration=1.5, links=[link],
+        flows=flows, sim_seed=sim_seed),
+    st.sampled_from(_SCENARIO_SCHEMES),
+    _link_specs,
+    st.lists(_flow_specs, min_size=1, max_size=3),
+    st.integers(min_value=0, max_value=2**16))
+
+
+@settings(max_examples=12, deadline=None)
+@given(_scenarios)
+def test_random_small_scenarios_satisfy_invariant_suite(fuzz):
+    fuzz.validate()
+    built = build_scenario(fuzz)
+    probe = CwndProbe(built)
+    result = built.scenario.run(fuzz.duration)
+    ctx = CheckContext(fuzz=fuzz, built=built, result=result,
+                       cwnd_samples=probe.samples)
+    violations = run_invariants(ctx)
+    assert violations == [], [v.message for v in violations]

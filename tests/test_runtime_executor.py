@@ -253,3 +253,76 @@ def test_sweep_spec_results_are_picklable():
     assert dataclasses.is_dataclass(result)
     assert set(result.extra) <= {"per_link_utilization"}
     pickle.loads(pickle.dumps(result))
+
+
+# ---------------------------------------------------------------- duplicates
+def test_sweep_spec_rejects_duplicate_cells():
+    """A repeated axis entry must fail expansion, not silently run twice."""
+    traces = {"t1": _tiny_traces()["t1"]}
+
+    with pytest.raises(ValueError, match="duplicate sweep cell"):
+        SweepSpec(schemes=["abc", "abc"], traces=traces,
+                  duration=3.0).expand()
+
+    # Case-insensitive: "ABC" and "abc" are the same cell (they share a
+    # cache key), so listing both is a duplicate too.
+    with pytest.raises(ValueError, match="duplicate sweep cell"):
+        SweepSpec(schemes=["ABC", "abc"], traces=traces,
+                  duration=3.0).expand()
+
+    with pytest.raises(ValueError, match="duplicate sweep cell"):
+        SweepSpec(schemes=["abc"], traces=traces, seeds=(1, 2, 1),
+                  duration=3.0).expand()
+
+    with pytest.raises(ValueError, match="duplicate sweep cell"):
+        SweepSpec(schemes=["abc"], traces=traces, duration=3.0,
+                  param_grid=({"rtt": 0.05}, {"rtt": 0.05})).expand()
+
+
+def test_sweep_spec_distinct_cells_still_expand():
+    """The duplicate check never rejects a genuinely distinct grid."""
+    traces = _tiny_traces()
+    cells, jobs = SweepSpec(schemes=["abc", "cubic"], traces=traces,
+                            seeds=(0, 1), duration=3.0,
+                            param_grid=({"rtt": 0.05}, {"rtt": 0.1})).expand()
+    assert len(cells) == len(jobs) == 2 * 2 * 2 * 2
+
+
+# ---------------------------------------------------------------- corruption
+def test_cache_truncated_entry_is_miss_and_rewritten(tmp_path):
+    """A truncated pickle reads as a miss, is deleted, and the recomputed
+    value is rewritten in its place (the full sweep-recovery path)."""
+    executor = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    jobs = [SweepJob(func=_echo_job, kwargs=dict(value=11))]
+    assert executor.run(jobs) == [11]
+    key = jobs[0].cache_key(executor.salt)
+    path = executor.cache._path(key)
+
+    # Truncate the valid pickle mid-stream.
+    complete = path.read_bytes()
+    assert len(complete) > 4
+    path.write_bytes(complete[: len(complete) // 2])
+
+    assert executor.run(jobs) == [11]            # recomputed, not crashed
+    assert executor.last_stats.executed == 1
+    assert executor.last_stats.cache_hits == 0
+    assert path.read_bytes() == complete          # rewritten intact
+
+    assert executor.run(jobs) == [11]            # and now it hits again
+    assert executor.last_stats.cache_hits == 1
+
+
+@pytest.mark.parametrize("garbage", [b"", b"\x80", b"\x80\x04garbage.",
+                                     b"(not(a(pickle"])
+def test_cache_garbage_entries_are_misses(tmp_path, garbage):
+    cache = ResultCache(tmp_path)
+    key = "ef" + "2" * 62
+    cache.put(key, {"ok": True})
+    cache._path(key).write_bytes(garbage)
+    hit, value = cache.get(key)
+    assert not hit and value is None
+    assert not cache._path(key).exists()
+    # The slot is reusable after the corrupt entry was dropped.
+    cache.put(key, {"ok": True})
+    hit, value = cache.get(key)
+    assert hit and value == {"ok": True}
