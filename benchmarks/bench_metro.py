@@ -1,0 +1,151 @@
+"""Metro-scale benchmark: batched ACK processing vs the classic per-ACK path.
+
+One workload — a city of cellular cells under mixed-scheme flow churn (see
+:mod:`repro.metro`) — run twice over the same jobs: once with the classic
+per-ACK event machinery and once with the batched fast path
+(``REPRO_BATCH_ACKS=1``).  The two runs must produce byte-identical per-cell
+results (asserted inside the benchmark itself, the same contract
+``tests/test_batched_ack.py`` pins), so the speedup column is a pure
+like-for-like comparison.
+
+Run as a script to (re)generate the committed perf artifact::
+
+    PYTHONPATH=src python benchmarks/bench_metro.py --out BENCH_metro.json
+    PYTHONPATH=src python benchmarks/bench_metro.py --quick   # CI smoke
+
+The full scenario is 200 cells and ~2 000 concurrent flows (2 long-lived
+base flows per cell plus Poisson arrivals of bounded-Pareto-sized mice at
+1 flow/s for 8 s); half the cells are trace-driven, half square-wave
+sectors (the paper's two cellular capacity models).  Under pytest the quick
+city runs once and asserts only a *loose* speedup floor when
+``REPRO_PERF_GATE=1``; by default CI keeps the benchmark
+regression-visible, not regression-gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    import pytest
+except ImportError:  # script mode (CI perf smoke) runs without pytest
+    pytest = None
+
+from repro.metro import aggregate_city, metro_pack
+from repro.simulator import fastpath
+
+#: The committed full-mode scenario: 200 cells x (2 base + ~8 churn) flows.
+FULL_SCENARIO = dict(n_cells=200, duration=8.0, arrival_rate=1.0, seeds=(0,))
+
+#: Reduced city for CI smoke and the pytest entry point.
+QUICK_SCENARIO = dict(n_cells=12, duration=5.0, arrival_rate=1.0, seeds=(0,))
+
+
+def run_metro(quick: bool = False, repeats: int = 2) -> dict:
+    """Interleaved best-of-``repeats`` classic/batched runs of one city.
+
+    Interleaving (classic, batched, classic, batched, ...) cancels slow
+    machine-load drift out of the speedup ratio; equality of the full
+    per-cell result lists is asserted on every repeat.
+    """
+    scenario = QUICK_SCENARIO if quick else FULL_SCENARIO
+    spec = metro_pack(**scenario)
+    _cells, jobs = spec.expand()
+    best = {False: float("inf"), True: float("inf")}
+    results: dict = {}
+    for _ in range(1 if quick else repeats):
+        for flag in (False, True):
+            t0 = time.perf_counter()
+            with fastpath.override(flag):
+                results[flag] = [job.run() for job in jobs]
+            wall = time.perf_counter() - t0
+            if wall < best[flag]:
+                best[flag] = wall
+        if results[False] != results[True]:
+            raise AssertionError(
+                "batched ACK fast path diverged from the classic path on "
+                "the metro scenario — the speedup below would not be "
+                "like-for-like")
+    city = aggregate_city(results[True])
+    flows = city["offered_flows"]
+    return {
+        "scenario": {**scenario, "cells": len(jobs), "flows": flows,
+                     "mix": spec.schemes[0]},
+        "classic": {"wall_sec": round(best[False], 3),
+                    "cells_per_sec": round(len(jobs) / best[False], 2)},
+        "batched": {"wall_sec": round(best[True], 3),
+                    "cells_per_sec": round(len(jobs) / best[True], 2)},
+        "identical": True,
+        "speedup_batched_vs_classic": round(best[False] / best[True], 2),
+        "city": {
+            "utilization_mean": round(city["utilization_mean"], 4),
+            "queuing_p99_ms": round(city["queuing_p99_ms"], 2),
+            "jain_base_flows": round(city["jain_base_flows"], 4),
+            "completed_flows": city["completed_flows"],
+        },
+    }
+
+
+def run_all(quick: bool = False) -> dict:
+    return {
+        "schema": 1,
+        "harness": "benchmarks/bench_metro.py",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **run_metro(quick=quick),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+if pytest is not None:
+    @pytest.mark.benchmark(group="metro")
+    def test_metro_batched_speedup(benchmark):
+        result = benchmark.pedantic(run_metro, kwargs={"quick": True},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        speedup = result["speedup_batched_vs_classic"]
+        print(f"\n  [metro] classic {result['classic']['wall_sec']:.2f}s, "
+              f"batched {result['batched']['wall_sec']:.2f}s "
+              f"({speedup:.2f}x, identical={result['identical']})")
+        assert result["identical"]
+        import os
+        if os.environ.get("REPRO_PERF_GATE") == "1":
+            # Loose floor: the quick city on shared CI runners is noisy; the
+            # committed full-city artifact shows >= 2x.
+            assert speedup > 1.3, (
+                f"batched ACK path speedup {speedup:.2f}x fell below the "
+                f"1.3x floor")
+
+
+# ---------------------------------------------------------------------------
+# Script mode: write the perf artifact
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced city (CI smoke)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON artifact here")
+    args = parser.parse_args(argv)
+    payload = run_all(quick=args.quick)
+    s = payload["scenario"]
+    print(f"metro: {s['cells']} cells, {s['flows']} flows, mix {s['mix']}")
+    print(f"  classic  {payload['classic']['wall_sec']:>8.2f}s")
+    print(f"  batched  {payload['batched']['wall_sec']:>8.2f}s "
+          f"({payload['speedup_batched_vs_classic']:.2f}x, "
+          f"identical={payload['identical']})")
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,19 @@ class CongestionControl:
     def on_ack(self, feedback: AckFeedback) -> None:
         """Called for every (non-duplicate) ACK."""
 
+    def fast_ack(self, feedback: AckFeedback) -> float:
+        """Fused ACK update used by the batched fast path: process the ACK
+        and return the effective window ``max(cwnd(), min_cwnd())`` in one
+        call.  Schemes with a hot inner loop (ABC) override this with a
+        fully inlined version; it must remain float-op-for-float-op
+        identical to ``on_ack`` + the two window reads
+        (``tests/test_batched_ack.py`` checks the composition
+        differentially)."""
+        self.on_ack(feedback)
+        cwnd = self.cwnd()
+        floor = self.min_cwnd()
+        return cwnd if cwnd >= floor else floor
+
     def on_loss(self, now: float) -> None:
         """Called once per loss event (fast-retransmit style)."""
 

@@ -93,6 +93,14 @@ class Cubic(CongestionControl):
                 self._cwnd = w_est
         self._clamp()
 
+    def fast_ack(self, feedback: AckFeedback) -> float:
+        """Base ``fast_ack`` with the two window reads inlined (Cubic keeps
+        the base ``cwnd``/``min_cwnd``, so the effective window is simply
+        ``max(self._cwnd, 1.0)``)."""
+        self.on_ack(feedback)
+        cwnd = self._cwnd
+        return cwnd if cwnd >= 1.0 else 1.0
+
     def _reduce(self, now: float) -> None:
         """Multiplicative decrease, at most once per smoothed RTT."""
         if now - self._last_reduction_time < self._srtt:

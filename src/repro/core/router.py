@@ -24,7 +24,9 @@ from typing import Callable, Optional
 
 from repro.core.marking import ProbabilisticMarker, TokenBucketMarker
 from repro.core.params import ABCParams
-from repro.simulator.estimators import WindowedRateEstimator
+from repro.simulator import fastpath
+from repro.simulator.estimators import (BatchedRateEstimator,
+                                        WindowedRateEstimator)
 from repro.simulator.packet import ECN, Packet, apply_brake
 from repro.simulator.qdisc import Qdisc
 
@@ -58,12 +60,31 @@ class ABCRouterQdisc(Qdisc):
         self.capacity_share = capacity_share
 
         window = self.params.measurement_window
-        self._dequeue_rate = WindowedRateEstimator(window=window)
-        self._enqueue_rate = WindowedRateEstimator(window=window)
+        self._fast = fastpath.enabled()
+        if self._fast:
+            self._dequeue_rate = BatchedRateEstimator(window=window)
+            self._enqueue_rate = BatchedRateEstimator(window=window)
+        else:
+            self._dequeue_rate = WindowedRateEstimator(window=window)
+            self._enqueue_rate = WindowedRateEstimator(window=window)
         if probabilistic_marking:
             self.marker = ProbabilisticMarker()
         else:
             self.marker = TokenBucketMarker(token_limit=self.params.token_limit)
+        if self._fast:
+            # Fused per-packet pipeline; the capacity memo is enabled per
+            # link type in attach().  Instance attributes shadow the class
+            # methods so the classic path stays untouched when the knob is
+            # off.
+            self._ref_rate = (self._dequeue_rate if feedback_basis == "dequeue"
+                              else self._enqueue_rate)
+            self._token_bucket = not probabilistic_marking
+            self._standing = delay_mode == "standing"
+            self._cap_memo_time = -1.0
+            self._cap_memo = 0.0
+            self._cap_memoizable = False
+            self.enqueue = self._enqueue_fast
+            self.dequeue = self._dequeue_fast
 
         # Introspection counters used by tests and the feedback ablation.
         self.accel_marked = 0
@@ -72,6 +93,22 @@ class ABCRouterQdisc(Qdisc):
         self.last_fraction = 1.0
         self.last_capacity = 0.0
         self.last_queuing_delay = 0.0
+
+    # ------------------------------------------------------------ wiring
+    def attach(self, link) -> None:
+        super().attach(link)
+        if self._fast:
+            # The per-timestamp capacity memo is only sound when capacity is
+            # a pure function of `now`: the two stock link models qualify, a
+            # user-supplied capacity_fn (e.g. the stateful WiFi estimator)
+            # may not — those keep the one-call-per-packet behaviour.  A
+            # subclass overriding capacity_bps (PK-ABC's lookahead oracle)
+            # also opts out, since the memoized read inlines the base method.
+            from repro.simulator.link import OpportunityLink, RateLink
+            self._cap_memoizable = (
+                self.capacity_fn is None
+                and type(link) in (OpportunityLink, RateLink)
+                and type(self).capacity_bps is ABCRouterQdisc.capacity_bps)
 
     # ------------------------------------------------------------ measurement
     def capacity_bps(self, now: float) -> float:
@@ -90,6 +127,8 @@ class ABCRouterQdisc(Qdisc):
         if not 0.0 < share <= 1.0:
             raise ValueError("share must be in (0, 1]")
         self.capacity_share = share
+        if self._fast:
+            self._cap_memo_time = -1.0
 
     def queuing_delay_estimate(self, now: float, capacity: float) -> float:
         """The x(t) term of Eq. (1)."""
@@ -166,6 +205,133 @@ class ABCRouterQdisc(Qdisc):
             packet.ecn = apply_brake(packet.ecn)
             self.brake_marked += 1
             self.marked_packets += 1
+
+    # ------------------------------------------------------------ fast path
+    # Installed as instance attributes when REPRO_BATCH_ACKS is on.  Each is
+    # the corresponding classic chain (enqueue; dequeue → estimator add →
+    # _apply_marking → accel_fraction → target_rate → capacity/queuing-delay
+    # reads → marker) flattened into straight-line code with identical
+    # arithmetic; `max`/`min` become the equivalent comparisons.  Equivalence
+    # is pinned by tests/test_batched_ack.py.
+
+    def _enqueue_fast(self, packet: Packet, now: float) -> bool:
+        if self.backlog_packets >= self.buffer_packets:
+            self.dropped_packets += 1
+            return False
+        size = packet.size
+        rate = self._enqueue_rate
+        if rate._first_sample_time is None:
+            rate._first_sample_time = now
+        rate._times.append(now)
+        rate._sizes.append(size)
+        rate._total += size
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self.backlog_bytes += size
+        self.backlog_packets += 1
+        return True
+
+    def _dequeue_fast(self, now: float) -> Optional[Packet]:
+        queue = self._queue
+        if not queue:
+            return None
+        packet = queue.popleft()
+        packet.dequeue_time = now
+        waited = now - packet.enqueue_time
+        if waited > 0.0:
+            packet.total_queuing_delay += waited
+        size = packet.size
+        self.backlog_bytes -= size
+        self.backlog_packets -= 1
+
+        rate = self._dequeue_rate
+        if rate._first_sample_time is None:
+            rate._first_sample_time = now
+        rate._times.append(now)
+        rate._sizes.append(size)
+        rate._total += size
+
+        # target_rate (Eq. 1).  All dequeues of one transmission opportunity
+        # share `now`, so the capacity lookup is memoized per timestamp when
+        # capacity is a pure function of time.
+        params = self.params
+        if self._cap_memoizable:
+            if now == self._cap_memo_time:
+                mu = self._cap_memo
+            else:
+                mu = self.link.capacity_bps(now)
+                if mu < 0.0:
+                    mu = 0.0
+                mu *= self.capacity_share
+                self._cap_memo_time = now
+                self._cap_memo = mu
+        else:
+            mu = self.capacity_bps(now)
+        if self._standing:
+            x = self.backlog_bytes * 8.0 / mu if mu > 0.0 else 0.0
+        else:
+            head = queue[0] if queue else None
+            if head is None:
+                x = 0.0
+            else:
+                x = now - head.enqueue_time
+                if x < 0.0:
+                    x = 0.0
+        excess_delay = x - params.delay_threshold
+        if excess_delay < 0.0:
+            excess_delay = 0.0
+        tr = params.eta * mu - (mu / params.delta) * excess_delay
+        self.last_capacity = mu
+        self.last_queuing_delay = x
+        if tr < 0.0:
+            tr = 0.0
+        self.last_target_rate = tr
+
+        # accel_fraction (Eq. 2).
+        reference = self._ref_rate.rate_bps(now)
+        if reference <= 0.0:
+            fraction = 1.0
+        else:
+            fraction = 0.5 * tr / reference
+            if fraction > 1.0:
+                fraction = 1.0
+        if fraction < 0.0:
+            fraction = 0.0
+        self.last_fraction = fraction
+
+        # Token-bucket marking (Algorithm 1); `fraction` is already clamped
+        # to [0, 1] so the marker's defensive clamp is skipped.
+        marker = self.marker
+        if packet.ecn is not ECN.ACCEL:
+            if self._token_bucket:
+                token = marker.token + fraction
+                limit = marker.token_limit
+                marker.token = token if token <= limit else limit
+            else:
+                marker.observe(fraction)
+            return packet
+        if self._token_bucket:
+            token = marker.token + fraction
+            limit = marker.token_limit
+            if token > limit:
+                token = limit
+            if token >= 1.0:
+                marker.token = token - 1.0
+                marker.accel_count += 1
+                keep_accel = True
+            else:
+                marker.token = token
+                marker.brake_count += 1
+                keep_accel = False
+        else:
+            keep_accel = marker.mark(fraction)
+        if keep_accel:
+            self.accel_marked += 1
+        else:
+            packet.ecn = apply_brake(packet.ecn)
+            self.brake_marked += 1
+            self.marked_packets += 1
+        return packet
 
     # ------------------------------------------------------------ stats
     @property

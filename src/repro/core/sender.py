@@ -85,6 +85,53 @@ class ABCWindowControl(CongestionControl):
 
         self._apply_window_caps(feedback.packets_in_flight)
 
+    def fast_ack(self, feedback: AckFeedback) -> float:
+        """Fused accel/brake + Cubic + window-cap update for the batched fast
+        path.  This is :meth:`on_ack` followed by the sender's
+        ``max(cwnd(), min_cwnd())`` read, flattened into one call with the
+        same floating-point operations in the same order — the ``max``/``min``
+        built-ins are replaced by the equivalent comparisons so the result is
+        bit-identical (``min_cwnd`` is the constant 1.0 here).
+        """
+        acked = feedback.bytes_acked / self.mss
+        w = self.w_abc
+        if self.params.additive_increase:
+            ai = acked / (w if w > 1.0 else 1.0)
+        else:
+            ai = 0.0
+        if feedback.accel:
+            self.accel_acks += 1
+            w = w + (acked + ai)
+        else:
+            self.brake_acks += 1
+            w = w - (acked - ai)
+        if w < 1.0:
+            w = 1.0
+
+        cubic = self.cubic
+        if cubic is not None:
+            cubic.on_ack(feedback)
+
+        # _apply_window_caps, inlined.
+        in_flight = feedback.packets_in_flight + 1
+        cap = self.params.window_cap_factor * (in_flight if in_flight >= 1 else 1)
+        if cap < 2.0:
+            cap = 2.0
+        if w > cap:
+            w = cap
+        self.w_abc = w
+
+        if cubic is not None:
+            cw = cubic._cwnd
+            if cw > cap:
+                cw = cap if cap >= 1.0 else 1.0
+                cubic._cwnd = cw
+            # cwnd() = max(min(w_abc, cubic cwnd), 1.0), inlined.
+            effective = w if w <= cw else cw
+        else:
+            effective = w
+        return effective if effective >= 1.0 else 1.0
+
     def _apply_window_caps(self, packets_in_flight: int) -> None:
         """Cap both windows at ``window_cap_factor ×`` packets in flight
         (§5.1.1) so the non-bottleneck window cannot grow unboundedly.

@@ -35,6 +35,7 @@ from repro.cellular.synthetic import SyntheticTraceConfig, synthetic_trace
 from repro.experiments.runner import make_scheme
 from repro.simulator.link import ConstantRate, SquareWaveRate
 from repro.simulator.scenario import Flow, Scenario
+from repro.simulator.traffic import FixedSizeSource
 
 #: Schemes the fuzzer samples.  Excludes the rate-based schemes whose pacing
 #: timers dominate runtime (sprout, verus, pcc) and pk-abc (needs a
@@ -54,6 +55,12 @@ CROSS_TRAFFIC_SCHEMES = frozenset(
 
 #: Congestion controllers used as cross-traffic.
 CROSS_CCS = ("cubic", "newreno")
+
+#: Extra controllers the small-metro churn mix assigns to non-native flows
+#: (the paper's coexistence traffic).  Kept separate from :data:`CROSS_CCS`
+#: so extending the metro mix never perturbs :class:`ScenarioGen`'s sampled
+#: stream for a given seed.
+CHURN_CCS = ("cubic", "bbr")
 
 #: Sentinel flow ``cc`` meaning "the bottleneck scheme's native sender".
 NATIVE = "native"
@@ -101,19 +108,27 @@ class LinkSpec:
 
 @dataclass
 class FlowSpec:
-    """One flow: a congestion controller, its RTT and its arrival time."""
+    """One flow: a congestion controller, its RTT and its arrival time.
+
+    ``size_bytes`` makes the flow finite: it transfers that many bytes and
+    departs (the metro churn model).  ``None`` means backlogged forever.
+    """
 
     cc: str = NATIVE
     rtt: float = 0.1
     start_time: float = 0.0
+    size_bytes: Optional[int] = None
 
     def validate(self) -> None:
         if self.rtt <= 0:
             raise ValueError("rtt must be positive")
         if self.start_time < 0:
             raise ValueError("start_time must be non-negative")
-        if self.cc != NATIVE and self.cc not in CROSS_CCS:
+        if self.cc != NATIVE and self.cc not in CROSS_CCS \
+                and self.cc not in CHURN_CCS:
             raise ValueError(f"unknown flow cc {self.cc!r}")
+        if self.size_bytes is not None and self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive when set")
 
 
 @dataclass
@@ -235,8 +250,11 @@ def build_scenario(fuzz: FuzzScenario) -> BuiltScenario:
     for flow_spec in fuzz.flows:
         cc = (scheme.make_sender() if flow_spec.cc == NATIVE
               else make_cc(flow_spec.cc))
+        source = (None if flow_spec.size_bytes is None
+                  else FixedSizeSource(flow_spec.size_bytes))
         flows.append(scenario.add_flow(cc, links, rtt=flow_spec.rtt,
                                        start_time=flow_spec.start_time,
+                                       source=source,
                                        label=f"{flow_spec.cc}"))
     return BuiltScenario(fuzz=fuzz, scenario=scenario, flows=flows)
 
@@ -322,3 +340,81 @@ class ScenarioGen:
         if budget <= 0:
             raise ValueError("budget must be positive")
         return [self.sample(i) for i in range(budget)]
+
+
+class SmallMetroGen:
+    """Seeded sampler of small metro cities: 10-20 cells with churn on.
+
+    A *city* is a list of per-cell :class:`FuzzScenario` descriptions, one
+    single-bottleneck cell each, mirroring the metro pack's workload
+    (:func:`repro.metro.cell.metro_cell`): a couple of long-lived backlogged
+    flows plus a churning population of finite-size flows — Poisson arrival
+    times and bounded-Pareto sizes drawn from the deterministic streams in
+    :mod:`repro.metro.workload` — whose schemes come from the coexistence
+    mix (ABC natives plus :data:`CHURN_CCS` cross-traffic).  Every cell runs
+    the ABC router (``scheme="abc"``), so each one goes through the
+    *existing* invariant net and campaign machinery unchanged: churn is just
+    flows with ``size_bytes`` set.
+    """
+
+    #: The coexistence mix churn flows draw their scheme from.
+    MIX = (("abc", 0.6), ("cubic", 0.3), ("bbr", 0.1))
+
+    def __init__(self, seed: int = 0, min_cells: int = 10,
+                 max_cells: int = 20):
+        if not 1 <= min_cells <= max_cells:
+            raise ValueError("need 1 <= min_cells <= max_cells")
+        self.seed = seed
+        self.min_cells = min_cells
+        self.max_cells = max_cells
+
+    def _sample_cell_link(self, rng: random.Random) -> LinkSpec:
+        if rng.random() < 0.5:
+            params = {"rate_bps": rng.uniform(4e6, 12e6)}
+            kind = "constant"
+        else:
+            low = rng.uniform(3e6, 8e6)
+            params = {"low_bps": low,
+                      "high_bps": low * rng.uniform(1.5, 2.5),
+                      "half_period": rng.uniform(0.3, 0.7)}
+            kind = "square"
+        return LinkSpec(kind=kind, params=params,
+                        buffer_packets=rng.choice((50, 100, 250)),
+                        role="bottleneck")
+
+    def sample_city(self, index: int) -> List[FuzzScenario]:
+        """The ``index``-th city of this generator's stream."""
+        from repro.metro.workload import (bounded_pareto_sizes,
+                                          poisson_arrivals, scheme_assignment)
+
+        rng = random.Random(f"metro-fuzz-{self.seed}:{index}")
+        n_cells = rng.randint(self.min_cells, self.max_cells)
+        duration = round(rng.uniform(2.0, 4.0), 1)
+        cells: List[FuzzScenario] = []
+        for c in range(n_cells):
+            # The workload streams key on the cell *name*, which encodes
+            # (generator seed, city index, cell index) — independent cells,
+            # reproducible city.
+            cell_name = f"fuzz-metro-{self.seed}-{index}-{c}"
+            rtt = round(rng.uniform(0.03, 0.12), 3)
+            flows = [FlowSpec(cc=NATIVE, rtt=rtt, start_time=0.0)
+                     for _ in range(rng.choice((1, 2)))]
+            arrivals = poisson_arrivals(rng.uniform(1.0, 3.0), duration,
+                                        cell_name, self.seed)
+            sizes = bounded_pareto_sizes(len(arrivals), cell_name, self.seed,
+                                         min_bytes=20_000,
+                                         max_bytes=500_000, alpha=1.2)
+            schemes = scheme_assignment(len(arrivals), self.MIX, cell_name,
+                                        self.seed)
+            for start, size, scheme in zip(arrivals, sizes, schemes):
+                flows.append(FlowSpec(
+                    cc=NATIVE if scheme == "abc" else scheme, rtt=rtt,
+                    start_time=start, size_bytes=size))
+            cell = FuzzScenario(scenario_id=index * 1000 + c, scheme="abc",
+                                duration=duration,
+                                links=[self._sample_cell_link(rng)],
+                                flows=flows,
+                                sim_seed=rng.randrange(2**16))
+            cell.validate()
+            cells.append(cell)
+        return cells

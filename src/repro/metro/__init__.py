@@ -1,0 +1,43 @@
+"""Metro-scale scenario pack: a city of cellular cells under flow churn.
+
+The paper evaluates ABC one bottleneck at a time; this package composes
+hundreds of such bottlenecks — each an independent cellular cell with a mix
+of long-lived and churning flows — into one *metro* sweep, routed through the
+:mod:`repro.runtime` executor so the seed axis, the worker pool and the
+on-disk result cache all apply unchanged.
+
+Layout
+------
+:mod:`repro.metro.workload`
+    Deterministic Poisson arrival times, bounded-Pareto flow sizes and
+    weighted scheme-mix assignment (one independent RNG stream per
+    (cell, seed, purpose) key).
+:mod:`repro.metro.cell`
+    ``metro_cell`` — the module-level job function simulating one cell
+    (picklable kwargs in, plain-dict metrics out).
+:mod:`repro.metro.spec`
+    :class:`~repro.metro.spec.MetroSpec` (a :class:`~repro.runtime.spec.SweepSpec`
+    whose scheme axis holds weighted mixes) and the
+    :func:`~repro.metro.spec.metro_pack` city builder.
+:mod:`repro.metro.aggregate`
+    City-wide roll-ups: per-cell utilisation, histogram-merged p99 queuing
+    delay, Jain fairness over every flow in the city, FCT percentiles.
+"""
+
+from repro.metro.aggregate import aggregate_city, jain_index
+from repro.metro.cell import metro_cell
+from repro.metro.spec import MetroSpec, metro_pack
+from repro.metro.workload import (bounded_pareto_sizes, parse_mix,
+                                  poisson_arrivals, scheme_assignment)
+
+__all__ = [
+    "MetroSpec",
+    "metro_pack",
+    "metro_cell",
+    "parse_mix",
+    "aggregate_city",
+    "jain_index",
+    "poisson_arrivals",
+    "bounded_pareto_sizes",
+    "scheme_assignment",
+]

@@ -120,7 +120,7 @@ class SweepSpec:
     param_grid: Sequence[Mapping[str, Any]] = field(default_factory=lambda: ({},))
 
     def validate(self) -> None:
-        validate_schemes(self.schemes)
+        self._validate_schemes()
         if not self.traces:
             raise ValueError("sweep needs a non-empty trace set")
         if not self.seeds:
@@ -128,6 +128,32 @@ class SweepSpec:
         if not self.param_grid:
             raise ValueError("param_grid must contain at least one override "
                              "mapping (use [{}] for no overrides)")
+
+    def _validate_schemes(self) -> None:
+        """Hook: check the scheme axis.  Subclasses with a different label
+        vocabulary (e.g. :class:`repro.metro.spec.MetroSpec`, whose labels
+        are weighted scheme *mixes*) override this."""
+        validate_schemes(self.schemes)
+
+    def _make_job(self, scheme: str, trace_name: str, link_spec: Any,
+                  seed: int, overrides: Mapping[str, Any]) -> SweepJob:
+        """Hook: build the :class:`SweepJob` for one grid coordinate.
+
+        The base spec runs :func:`sweep_cell`
+        (→ :func:`~repro.experiments.runner.run_single_bottleneck`);
+        subclasses substitute their own module-level job function while
+        inheriting the grid expansion, duplicate detection, trace-store
+        registration and executor/cache plumbing unchanged.
+        """
+        kwargs = dict(
+            scheme=str(scheme).lower(), link_spec=link_spec,
+            rtt=self.rtt, duration=self.duration,
+            buffer_packets=self.buffer_packets,
+            abc_params=self.abc_params, warmup=self.warmup,
+            seed=seed)
+        kwargs.update(overrides)
+        return SweepJob(func=sweep_cell, kwargs=kwargs,
+                        label=f"{scheme}/{trace_name}/seed{seed}")
 
     # ------------------------------------------------------------- expansion
     def expand(self) -> Tuple[List[SweepCell], List[SweepJob]]:
@@ -168,24 +194,16 @@ class SweepSpec:
                                 f"overrides={dict(overrides)!r} — check the "
                                 f"schemes/seeds/param_grid axes for repeats")
                         seen_cells.add(key)
-                        # Normalise the label inside the job kwargs so a
+                        # The job normalises the label inside its kwargs so a
                         # mixed-case spelling hashes to the same cache key;
                         # the cell keeps the caller's spelling so grouped
                         # results stay keyed the way they were requested.
-                        kwargs = dict(
-                            scheme=str(scheme).lower(), link_spec=link_spec,
-                            rtt=self.rtt, duration=self.duration,
-                            buffer_packets=self.buffer_packets,
-                            abc_params=self.abc_params, warmup=self.warmup,
-                            seed=seed)
-                        kwargs.update(overrides)
                         cells.append(SweepCell(
                             scheme=str(scheme), trace=trace_name,
                             seed=seed,
                             overrides=tuple(sorted(overrides.items()))))
-                        jobs.append(SweepJob(
-                            func=sweep_cell, kwargs=kwargs,
-                            label=f"{scheme}/{trace_name}/seed{seed}"))
+                        jobs.append(self._make_job(
+                            scheme, trace_name, link_spec, seed, overrides))
         return cells, jobs
 
     # ------------------------------------------------------------------ run

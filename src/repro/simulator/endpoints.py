@@ -21,12 +21,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cc.base import CongestionControl
-from repro.simulator.engine import EventHandle, EventLoop
+from repro.simulator import fastpath
+from repro.simulator.engine import DeadlineTimer, EventHandle, EventLoop
 from repro.simulator.estimators import RTTEstimator
 from repro.simulator.monitor import FlowStats
 from repro.simulator.packet import (ACK_SIZE, MTU, Ack, AckFeedback, ECN,
-                                    Packet, packet_pool)
-from repro.simulator.traffic import BackloggedSource, TrafficSource
+                                    Packet, _packet_ids, packet_pool)
+from repro.simulator.traffic import (BackloggedSource, FixedSizeSource,
+                                     TrafficSource)
 
 #: A packet is declared lost when another packet *sent this much later* has
 #: already been acknowledged (RACK-style time-based loss detection).  Using
@@ -134,6 +136,50 @@ class Sender:
         self._pacing_active = False
         self._rto_backoff = 1.0
 
+        # Batched ACK fast path (REPRO_BATCH_ACKS, see repro.simulator.
+        # fastpath).  Instance attributes shadow the class methods so the
+        # classic path pays nothing when the knob is off; pacing-based
+        # schemes always keep the classic path (their per-tick pacing loop
+        # is untouched by batching).
+        self._fast = fastpath.enabled() and not cc.needs_pacing
+        if self._fast:
+            cc_type = type(cc)
+            # A CC with the base no-op on_packet_sent cannot change its
+            # window during a send burst, so the window is hoisted out of
+            # the loop.  Every ACK-clocked scheme in the repo qualifies.
+            self._static_window = (
+                cc_type.on_packet_sent is CongestionControl.on_packet_sent)
+            # CCs with the base packet_meta get a fresh empty dict stamped
+            # inline (routers may write into packet.meta — XCP feedback —
+            # so the dict must never be shared between packets).
+            self._static_meta = (
+                cc_type.packet_meta is CongestionControl.packet_meta)
+            source_type = type(self.source)
+            if source_type is BackloggedSource:
+                self._source_kind = 0
+            elif source_type is FixedSizeSource:
+                self._source_kind = 1
+            else:
+                self._source_kind = 2
+            self._fwd: Optional[tuple] = None
+            self._rto_timer = DeadlineTimer(env, self._on_rto_expired)
+            self.receive = self._receive_fast
+            self._try_send = self._try_send_fast
+            self._arm_rto = self._arm_rto_fast
+        elif fastpath.enabled():
+            # Pacing-based schemes keep the classic send/ACK machinery but
+            # still profit from the lazy RTO timer (per-ACK re-arming becomes
+            # two float writes instead of a heap cancel + push) and from
+            # handle-free pacing ticks.  Both are bit-identical: the timer
+            # fires the idempotent classic ``_on_rto`` (a stale fire with
+            # nothing outstanding is a no-op, exactly like a cancelled
+            # handle), and ``post`` builds the same heap entry ``schedule``
+            # would, minus the EventHandle.
+            self._rto_timer = DeadlineTimer(env, self._on_rto)
+            self._arm_rto = self._arm_rto_fast
+            self._pace_tick = self._pace_tick_fast
+            self.receive = self._receive_paced_fast
+
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
         """Register the flow start with the event loop."""
@@ -149,6 +195,8 @@ class Sender:
 
     def connect(self, egress) -> None:
         self.egress = egress
+        if self._fast:
+            self._fwd = None  # re-resolve the fused forward hop
 
     # ------------------------------------------------------------ properties
     @property
@@ -387,9 +435,320 @@ class Sender:
                 and not self.retransmit_queue):
             self.completion_time = now
 
+    # ------------------------------------------------------------ fast path
+    # Installed as instance attributes when REPRO_BATCH_ACKS is on (see
+    # repro.simulator.fastpath).  Each method flattens the corresponding
+    # classic call chain into straight-line code with identical arithmetic
+    # and identical externally visible state; rare cases (retransmissions,
+    # exotic sources, non-DelayHop egress) fall back to the classic methods.
+    # Equivalence is pinned differentially by tests/test_batched_ack.py.
+
+    def _receive_fast(self, ack) -> None:
+        # _handle_ack with RTTEstimator.update, the RACK precheck, the
+        # window read and the RTO re-arm inlined, then the send burst.
+        if not isinstance(ack, Ack):
+            return
+        now = self.env._now
+        self.acks_received += 1
+        outstanding = self.outstanding
+        info = outstanding.pop(ack.seq, None)
+        if info is None:
+            packet_pool.release_ack(ack)
+            return
+        rtt_sample = None
+        info_sent_time = info.sent_time
+        if not info.is_retransmission:
+            rtt_sample = now - info_sent_time
+            if rtt_sample > 0:
+                rtt = self.rtt
+                rtt.latest = rtt_sample
+                if rtt_sample < rtt.min_rtt:
+                    rtt.min_rtt = rtt_sample
+                srtt = rtt.srtt
+                if srtt is None or rtt.rttvar is None:
+                    rtt.srtt = rtt_sample
+                    rtt.rttvar = rtt_sample / 2.0
+                else:
+                    diff = srtt - rtt_sample
+                    if diff < 0.0:
+                        diff = -diff
+                    rtt.rttvar = 0.75 * rtt.rttvar + 0.25 * diff
+                    rtt.srtt = 0.875 * srtt + 0.125 * rtt_sample
+            self._rto_backoff = 1.0
+        info_size = info.size
+        self.bytes_acked += info_size
+        seq = ack.seq
+        if seq > self.highest_acked:
+            self.highest_acked = seq
+        latest = self._latest_acked_sent_time
+        if info_sent_time > latest:
+            latest = info_sent_time
+            self._latest_acked_sent_time = info_sent_time
+        if outstanding:
+            first_info = next(iter(outstanding.values()))
+            if first_info.sent_time < latest - REORDER_WINDOW:
+                self._detect_losses(now)
+        # Positional AckFeedback construction (field order pinned by the
+        # dataclass definition); kwargs are measurable at this call rate.
+        feedback = AckFeedback(now, rtt_sample, info_size, ack.accel, ack.ece,
+                               len(outstanding), info.is_retransmission,
+                               info_sent_time, ack.meta)
+        acks = packet_pool._acks
+        if len(acks) < packet_pool.max_size:
+            acks.append(ack)
+        cwnd = self.cc.fast_ack(feedback)
+
+        if self.retransmit_queue or self._source_kind == 2:
+            # Recovery or an exotic source: the classic sender loop handles
+            # every corner (it re-arms the RTO per transmission through the
+            # shadowed _arm_rto, so the deadline below is a no-op refresh).
+            Sender._try_send(self)
+        else:
+            self._burst_fast(now, cwnd)
+        if outstanding:
+            self._arm_rto_fast(now)
+        else:
+            self._rto_timer.deadline = None
+
+    def _try_send_fast(self) -> None:
+        # Shadows _try_send for begin/wakeup/timeout callers; the per-ACK
+        # burst is issued directly by the ACK fast path (_receive_fast).
+        if not self._started:
+            return
+        if self.retransmit_queue or self._source_kind == 2:
+            Sender._try_send(self)
+            return
+        now = self.env._now
+        cc = self.cc
+        cwnd = cc.cwnd()
+        floor = cc.min_cwnd()
+        if floor > cwnd:
+            cwnd = floor
+        if self._burst_fast(now, cwnd):
+            self._arm_rto_fast(now)
+
+    def _resolve_forward(self) -> tuple:
+        """Fuse the egress DelayHop: schedule its destination callback
+        directly, skipping the per-packet dispatch and hop bounce.  The
+        scheduled (time, callback) pairs are identical to the classic
+        path's, so even the event sequence is unchanged by this fusion."""
+        egress = self.egress
+        if type(egress) is DelayHop and egress.dst is not None:
+            fwd = (egress.delay, egress.dst.receive)
+        else:
+            fwd = (0.0, None)  # classic _forward fallback
+        self._fwd = fwd
+        return fwd
+
+    def _burst_fast(self, now: float, cwnd: float) -> bool:
+        """Send as much new data as the window and the source allow.
+
+        Only called with an empty retransmit queue and a backlogged or
+        fixed-size source, which makes the classic per-packet protocol
+        (bytes_available/consume/next_data_time/finished) collapse into
+        plain integer arithmetic.  Returns True when anything was sent.
+        """
+        outstanding = self.outstanding
+        n = len(outstanding)
+        fixed = self._source_kind == 1
+        if fixed:
+            source = self.source
+            available = source.total_bytes - source.sent_bytes
+            sendable = available >= 1 and n + 1 <= cwnd
+        else:
+            available = 0
+            sendable = n + 1 <= cwnd
+        sent_packets = 0
+        if sendable:
+            cc = self.cc
+            mss = self.mss
+            flow_id = self.flow_id
+            abc_capable = cc.uses_abc
+            ecn = ECN.ACCEL if abc_capable else ECN.NOT_ECT
+            static_meta = self._static_meta
+            static_window = self._static_window
+            fwd = self._fwd
+            if fwd is None:
+                fwd = self._resolve_forward()
+            fwd_delay, fwd_cb = fwd
+            post = self.env.post
+            acquire = packet_pool.acquire_packet
+            next_seq = self.next_seq
+            sent_bytes = 0
+            while True:
+                if fixed:
+                    size = mss if available >= mss else available
+                    source.sent_bytes += size
+                    available -= size
+                else:
+                    size = mss
+                meta = {} if static_meta else cc.packet_meta(now)
+                packet = acquire(flow_id, next_seq, size, ecn, now, False,
+                                 abc_capable, meta)
+                outstanding[next_seq] = _SentInfo(next_seq, size, now, False)
+                next_seq += 1
+                n += 1
+                sent_bytes += size
+                sent_packets += 1
+                if not static_window:
+                    cc.on_packet_sent(now, next_seq - 1, size, n)
+                if fwd_cb is not None:
+                    post(fwd_delay, fwd_cb, packet)
+                else:
+                    egress = self.egress
+                    if egress is not None:
+                        _forward(egress, packet)
+                if not static_window:
+                    cwnd = cc.cwnd()
+                    floor = cc.min_cwnd()
+                    if floor > cwnd:
+                        cwnd = floor
+                if n + 1 > cwnd:
+                    break
+                if fixed and available < 1:
+                    break
+            self.next_seq = next_seq
+            self.bytes_sent += sent_bytes
+            self.packets_sent += sent_packets
+        if (fixed and available < 1 and self.completion_time is None
+                and not outstanding and not self.retransmit_queue):
+            self.completion_time = now
+        return sent_packets > 0
+
+    def _arm_rto_fast(self, now: float) -> None:
+        # _arm_rto with the RTO property inlined and the cancel-and-repush
+        # replaced by the lazy DeadlineTimer (same expiry instant, no heap
+        # traffic while the deadline only moves forward).
+        rtt = self.rtt
+        srtt = rtt.srtt
+        if srtt is None:
+            rto = 1.0
+        else:
+            rto = srtt + 4.0 * rtt.rttvar
+            min_rto = rtt.min_rto
+            if rto < min_rto:
+                rto = min_rto
+            else:
+                max_rto = rtt.max_rto
+                if rto > max_rto:
+                    rto = max_rto
+        self._rto_timer.set(now + rto * self._rto_backoff)
+
+    def _pace_tick_fast(self) -> None:
+        # Classic ``_pace_tick`` with the clock read flattened and the next
+        # tick posted handle-free (same heap entry ``schedule`` would build).
+        now = self.env._now
+        rate = self.cc.pacing_rate() or 0.0
+        sent = False
+        if rate > 0:
+            if (self.retransmit_queue
+                    and self.in_flight + 1 <= self._cwnd_packets()):
+                self._send_retransmission(now)
+                sent = True
+            elif self._can_send_new_data(now):
+                self._send_new_packet(now)
+                sent = True
+        if rate > 0:
+            interval = self.mss * 8.0 / rate
+        else:
+            interval = IDLE_PACING_POLL
+        if not sent and rate > 0:
+            # Window- or application-limited: poll again shortly so we react
+            # quickly once the constraint clears.
+            interval = min(interval, IDLE_PACING_POLL)
+        self.env.post(interval, self._pace_tick)
+        self._check_completion(now)
+
+    def _receive_paced_fast(self, ack) -> None:
+        # Classic ``_handle_ack`` for pacing-based schemes, with
+        # RTTEstimator.update, the RACK precheck and the RTO bookkeeping
+        # flattened — same statements in the same order (no send burst: the
+        # pacing loop emits new packets, so this ends in the classic
+        # ``_try_send``, which only flushes retransmissions).
+        if not isinstance(ack, Ack):
+            return
+        now = self.env._now
+        self.acks_received += 1
+        outstanding = self.outstanding
+        info = outstanding.pop(ack.seq, None)
+        if info is None:
+            packet_pool.release_ack(ack)
+            return
+        rtt_sample = None
+        info_sent_time = info.sent_time
+        if not info.is_retransmission:
+            rtt_sample = now - info_sent_time
+            if rtt_sample > 0:
+                rtt = self.rtt
+                rtt.latest = rtt_sample
+                if rtt_sample < rtt.min_rtt:
+                    rtt.min_rtt = rtt_sample
+                srtt = rtt.srtt
+                if srtt is None or rtt.rttvar is None:
+                    rtt.srtt = rtt_sample
+                    rtt.rttvar = rtt_sample / 2.0
+                else:
+                    diff = srtt - rtt_sample
+                    if diff < 0.0:
+                        diff = -diff
+                    rtt.rttvar = 0.75 * rtt.rttvar + 0.25 * diff
+                    rtt.srtt = 0.875 * srtt + 0.125 * rtt_sample
+            self._rto_backoff = 1.0
+        info_size = info.size
+        self.bytes_acked += info_size
+        seq = ack.seq
+        if seq > self.highest_acked:
+            self.highest_acked = seq
+        latest = self._latest_acked_sent_time
+        if info_sent_time > latest:
+            latest = info_sent_time
+            self._latest_acked_sent_time = info_sent_time
+        if outstanding:
+            first_info = next(iter(outstanding.values()))
+            if first_info.sent_time < latest - REORDER_WINDOW:
+                self._detect_losses(now)
+        feedback = AckFeedback(now, rtt_sample, info_size, ack.accel, ack.ece,
+                               len(outstanding), info.is_retransmission,
+                               info_sent_time, ack.meta)
+        packet_pool.release_ack(ack)
+        self.cc.on_ack(feedback)
+        if outstanding:
+            self._arm_rto_fast(now)
+        else:
+            self._rto_timer.deadline = None
+        self._try_send()
+
+    def _on_rto_expired(self) -> None:
+        # _on_rto, reached through the DeadlineTimer at the same simulated
+        # instant the classic timer would have fired.
+        now = self.env._now
+        if not self.outstanding:
+            return
+        self.timeouts += 1
+        self._recovery_end_seq = self.next_seq
+        outstanding = self.outstanding
+        retransmit = self.retransmit_queue
+        for seq in sorted(outstanding):
+            retransmit.append(outstanding.pop(seq))
+        self.cc.on_timeout(now)
+        backoff = self._rto_backoff * 2.0
+        self._rto_backoff = backoff if backoff <= 64.0 else 64.0
+        self._arm_rto_fast(now)
+        self._try_send_fast()
+
 
 class Receiver:
     """Acknowledges data packets and echoes congestion feedback to senders."""
+
+    #: Fast-path marker: a receiver is a per-flow leaf — its state is only
+    #: ever touched by this flow's data packets, which all funnel through one
+    #: demux in delivery order — so the demux may run it synchronously at
+    #: delivery time with the *computed* arrival timestamp instead of posting
+    #: an arrival event (see :meth:`_receive_fast_at`).  Every recorded time
+    #: and the returned ACK's scheduled arrival are built from the same float
+    #: expressions the event path would produce; only heap sequence numbers
+    #: shift.
+    deliver_shifted = True
 
     def __init__(self, env: EventLoop, egress=None, name: str = "receiver",
                  ack_size: int = ACK_SIZE):
@@ -400,9 +759,13 @@ class Receiver:
         self.flow_stats: Dict[int, FlowStats] = {}
         self.packets_received = 0
         self._next_expected: Dict[int, int] = {}
+        if fastpath.enabled():
+            self._ack_fwd: Optional[tuple] = None
+            self.receive = self._receive_fast
 
     def connect(self, egress) -> None:
         self.egress = egress
+        self._ack_fwd = None
 
     def stats_for(self, flow_id: int) -> FlowStats:
         if flow_id not in self.flow_stats:
@@ -441,6 +804,93 @@ class Receiver:
         # flow stats and the ACK above, so the object can be recycled.
         packet_pool.release_packet(packet)
         if self.egress is not None:
+            _forward(self.egress, ack)
+
+    # ------------------------------------------------------------ fast path
+    def _receive_fast(self, packet) -> None:
+        self._receive_fast_at(packet, self.env._now)
+
+    def _receive_fast_at(self, packet, now: float) -> None:
+        # `receive` with FlowStats.record inlined and the return ACK hop
+        # fused (the DelayHop bounce is replaced by scheduling its
+        # destination callback directly — same time, same event order).
+        # ``now`` is the packet's arrival time, which may lie ahead of the
+        # simulation clock when the demux invokes this synchronously at
+        # delivery time (see :attr:`deliver_shifted`).
+        if isinstance(packet, Ack):
+            return
+        self.packets_received += 1
+        flow_id = packet.flow_id
+        stats = self.flow_stats.get(flow_id)
+        if stats is None:
+            stats = FlowStats(flow_id)
+            self.flow_stats[flow_id] = stats
+        size = packet.size
+        stats.recv_times.append(now)
+        stats.sent_times.append(packet.sent_time)
+        stats.sizes.append(size)
+        stats.queuing_delays.append(packet.total_queuing_delay)
+        stats.bytes_received += size
+        if stats.first_recv_time is None:
+            stats.first_recv_time = now
+        stats.last_recv_time = now
+
+        next_expected = self._next_expected
+        expected = next_expected.get(flow_id, 0)
+        seq = packet.seq
+        if seq >= expected:
+            expected = seq + 1
+            next_expected[flow_id] = expected
+
+        ecn = packet.ecn
+        pool = packet_pool._acks
+        if pool:
+            # PacketPool.acquire_ack inlined: same field resets in the same
+            # order, same uid draw — only the call frame is saved.
+            ack = pool.pop()
+            packet_pool.reused += 1
+            ack.flow_id = flow_id
+            ack.seq = seq
+            ack.size = self.ack_size
+            ack.accel = ecn == ECN.ACCEL
+            ack.ece = ecn == ECN.CE
+            ack.data_sent_time = packet.sent_time
+            ack.data_size = size
+            ack.ack_sent_time = now
+            ack.cumulative_ack = expected
+            ack.ecn = ECN.NOT_ECT
+            ack.meta = dict(packet.meta)
+            ack.uid = next(_packet_ids)
+            ack.sent_time = now
+            ack.enqueue_time = 0.0
+            ack.dequeue_time = 0.0
+            ack.total_queuing_delay = 0.0
+            ack.is_retransmission = False
+            ack.abc_capable = False
+            ack.hop_count = 0
+        else:
+            ack = packet_pool.acquire_ack(
+                flow_id, seq, self.ack_size, ecn == ECN.ACCEL, ecn == ECN.CE,
+                packet.sent_time, size, now, expected, now, dict(packet.meta))
+        packets = packet_pool._packets
+        if len(packets) < packet_pool.max_size:
+            packets.append(packet)
+        fwd = self._ack_fwd
+        if fwd is None:
+            egress = self.egress
+            if type(egress) is DelayHop and egress.dst is not None:
+                fwd = (egress.delay, egress.dst.receive)
+            else:
+                fwd = (0.0, None)
+            self._ack_fwd = fwd
+        cb = fwd[1]
+        if cb is not None:
+            # ``now + delay`` is the exact expression the classic path would
+            # evaluate at the arrival event (where ``env._now == now``), so
+            # the ACK lands at a bit-identical time even when this runs
+            # early, at delivery time.
+            self.env.post_at(now + fwd[0], cb, ack)
+        elif self.egress is not None:
             _forward(self.egress, ack)
 
 

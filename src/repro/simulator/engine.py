@@ -79,6 +79,60 @@ class EventHandle:
             loop._maybe_compact()
 
 
+class DeadlineTimer:
+    """A lazily re-armed one-shot timer for deadline-style timeouts (RTO).
+
+    The classic pattern — cancel the pending event and push a new one every
+    time the deadline moves — costs a heap push plus a lazy-cancelled entry
+    per move, which on an ACK-clocked sender means one per ACK.  This timer
+    stores the deadline in a plain attribute instead: moving the deadline
+    *later* is free, and the pending heap event simply re-schedules itself
+    at the current deadline when it fires early.  Only moving the deadline
+    *earlier* than the pending event (a shrinking RTO after an idle period)
+    touches the heap.
+
+    ``expire()`` is invoked exactly when simulated time reaches the deadline,
+    at the same instant the classic cancel-and-repush pattern would have
+    fired.  The early no-op firings mutate no simulation state, so results
+    are unchanged; only the raw event sequence differs (see
+    ``repro.simulator.fastpath``).
+    """
+
+    __slots__ = ("_loop", "_expire", "deadline", "_handle")
+
+    def __init__(self, loop: "EventLoop", expire: Callable[[], None]):
+        self._loop = loop
+        self._expire = expire
+        self.deadline: Optional[float] = None
+        self._handle: Optional[EventHandle] = None
+
+    def set(self, deadline: float) -> None:
+        """Move the expiry to absolute time ``deadline``."""
+        self.deadline = deadline
+        handle = self._handle
+        if handle is None:
+            self._handle = self._loop.schedule_at(deadline, self._fire)
+        elif handle._entry[0] > deadline:
+            handle.cancel()
+            self._handle = self._loop.schedule_at(deadline, self._fire)
+
+    def clear(self) -> None:
+        """Disarm without touching the heap (the stale event no-ops)."""
+        self.deadline = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        deadline = self.deadline
+        if deadline is None:
+            return
+        loop = self._loop
+        if loop._now < deadline:
+            self._handle = loop.schedule_at(deadline, self._fire)
+            return
+        self.deadline = None
+        self._expire()
+
+
 class EventLoop:
     """A deterministic discrete-event scheduler.
 
@@ -99,6 +153,7 @@ class EventLoop:
         self._now = 0.0
         self._heap: list[list] = []
         self._next_seq = count().__next__
+        self._limit = float("inf")
         self._running = False
         self._events_processed = 0
         self._cancelled = 0
@@ -155,6 +210,29 @@ class EventLoop:
         heappush(self._heap, entry)
         return EventHandle(entry, self)
 
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """:meth:`schedule` without constructing an :class:`EventHandle`.
+
+        Identical heap entry (same time, same sequence number), so the event
+        order is exactly what :meth:`schedule` would produce — the only
+        difference is that the event cannot be cancelled.  Used by the
+        fire-and-forget hot paths (packet forwarding, link transmissions),
+        where the handle allocation is pure overhead.
+        """
+        if delay != delay:
+            raise ValueError("event delay must not be NaN")
+        now = self._now
+        heappush(self._heap, [now + delay if delay > 0.0 else now,
+                              self._next_seq(), callback, args])
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """:meth:`schedule_at` without constructing an :class:`EventHandle`."""
+        if time != time:
+            raise ValueError("event time must not be NaN")
+        if time < self._now:
+            time = self._now
+        heappush(self._heap, [time, self._next_seq(), callback, args])
+
     # ---------------------------------------------------------- compaction
     def _maybe_compact(self) -> None:
         """Rebuild the heap without cancelled entries once they dominate.
@@ -186,6 +264,10 @@ class EventLoop:
         self._running = True
         heap = self._heap
         limit = float("inf") if until is None else until
+        # Published so fast-path components that execute work synchronously
+        # (instead of via a heap entry) can honour the same cut-off the run
+        # loop applies: an event strictly beyond ``until`` never fires.
+        self._limit = limit
         processed = 0
         executed = 0
         try:

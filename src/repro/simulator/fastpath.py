@@ -1,0 +1,61 @@
+"""The batched ACK-processing knob.
+
+``REPRO_BATCH_ACKS=1`` switches the simulator onto a fused per-ACK fast path:
+the sender's ACK bookkeeping, the congestion controller's window update, the
+ABC router's estimator/marking pipeline and the per-hop forwarding are
+collapsed into flat, call-free code over the same state (see
+``docs/ARCHITECTURE.md`` § "Metro scale").
+
+Contract
+--------
+The fast path produces **bit-identical simulation results** — run summaries,
+per-flow statistics, link counters, window trajectories — for every scheme
+(`tests/test_batched_ack.py` enforces this differentially).  It is *not*
+event-trace identical: the lazily re-armed RTO timer fires occasional no-op
+bookkeeping events that the classic path does not, so the golden per-event
+trace in ``tests/test_engine_golden_trace.py`` is pinned to the classic path.
+
+Components read the knob **at construction time** (``Scenario``, ``Sender``,
+``Receiver``, ``ABCRouterQdisc``); use :func:`override` around scenario
+construction *and* execution when toggling it programmatically.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment variable that turns the batched ACK fast path on.
+ENV_KNOB = "REPRO_BATCH_ACKS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Programmatic override; None defers to the environment.
+_override: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """True when the batched ACK fast path is active."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_KNOB, "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def override(flag: Optional[bool]) -> Iterator[None]:
+    """Force the knob on/off within a ``with`` block (None = no-op).
+
+    Used by the differential tests and by job functions that carry the knob
+    in their (picklable, cache-keyed) kwargs instead of the environment.
+    """
+    global _override
+    if flag is None:
+        yield
+        return
+    previous = _override
+    _override = bool(flag)
+    try:
+        yield
+    finally:
+        _override = previous

@@ -21,6 +21,7 @@ import bisect
 import random
 from typing import TYPE_CHECKING, Iterable, Optional, Protocol, Sequence
 
+from repro.simulator import fastpath
 from repro.simulator.engine import EventLoop
 from repro.simulator.packet import MTU, Packet
 from repro.simulator.qdisc import FifoQdisc, Qdisc
@@ -199,10 +200,38 @@ class Link:
         self.random_loss_packets = 0
         self.loss_rate = loss_rate
         self._loss_rng = random.Random(loss_seed)
+        # Hot-path scheduling: with the batched fast path on, transmissions
+        # and deliveries post handle-free events (identical heap entries —
+        # same times, same sequence numbers — minus the EventHandle
+        # allocation, which these fire-and-forget events never use), and
+        # ``send``/``receive`` collapse to one flattened entry point.
+        self._fastpath = fastpath.enabled()
+        if self._fastpath:
+            self._post = env.post
+            self._post_at = env.post_at
+            self.send = self._send_fast
+            self.receive = self._send_fast
+        else:
+            self._post = env.schedule
+            self._post_at = env.schedule_at
+        # Fast-path only: when the downstream node declares itself
+        # ``deliver_inline``-safe (it only *posts* future events, never
+        # mutates shared state — e.g. a FlowDemux) and there is no
+        # propagation delay to model, delivery invokes it synchronously
+        # instead of bouncing through a zero-delay event.  Arrival order at
+        # every stateful object is unchanged; only heap sequence numbers
+        # shift (same divergence class as the lazy RTO timer).
+        self._rx_inline = None
+        if dst is not None:
+            self.connect(dst)
 
     # ------------------------------------------------------------ wiring
     def connect(self, dst: Node) -> None:
         self.dst = dst
+        self._rx_inline = (
+            dst.receive if (self._fastpath and self.prop_delay == 0.0
+                            and getattr(dst, "deliver_inline", False))
+            else None)
 
     def set_monitor(self, monitor: "LinkMonitor") -> None:
         self.monitor = monitor
@@ -233,6 +262,23 @@ class Link:
     def receive(self, packet: Packet) -> None:
         self.send(packet)
 
+    def _send_fast(self, packet: Packet) -> None:
+        # ``send`` with the clock read flattened; shadows both spellings.
+        now = self.env._now
+        self.arrived_packets += 1
+        packet.hop_count += 1
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            self.random_loss_packets += 1
+            if self.monitor is not None:
+                self.monitor.record_drop(now, packet)
+            return
+        if self.qdisc.enqueue(packet, now):
+            self._on_enqueue(now)
+        else:
+            self.dropped_packets += 1
+            if self.monitor is not None:
+                self.monitor.record_drop(now, packet)
+
     def _on_enqueue(self, now: float) -> None:
         """Hook: subclasses kick their transmission machinery here."""
         raise NotImplementedError
@@ -246,7 +292,7 @@ class Link:
             self.monitor.record_departure(now, packet)
         dst = self.dst
         if dst is not None:
-            self.env.schedule(self.prop_delay, dst.receive, packet)
+            self._post(self.prop_delay, dst.receive, packet)
 
     @property
     def packets_in_transmission(self) -> int:
@@ -294,6 +340,8 @@ class RateLink(Link):
                          dst=dst, loss_rate=loss_rate, loss_seed=loss_seed)
         self.capacity = capacity
         self._busy = False
+        if self._fastpath:
+            self._finish_transmission = self._finish_transmission_fast
 
     @property
     def packets_in_transmission(self) -> int:
@@ -312,11 +360,37 @@ class RateLink(Link):
         self._busy = True
         rate = self.capacity.rate_at(now)
         tx_time = packet.size * 8.0 / rate
-        self.env.schedule(tx_time, self._finish_transmission, packet)
+        self._post(tx_time, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self._deliver(packet)
         self._start_transmission()
+
+    def _finish_transmission_fast(self, packet: Packet) -> None:
+        # _deliver + _start_transmission fused: same statements, same order,
+        # minus the call frames and the monitor/clock indirections.
+        env = self.env
+        now = env._now
+        size = packet.size
+        self.delivered_bytes += size
+        self.delivered_packets += 1
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.departure_times.append(now)
+            monitor.departure_bytes.append(size)
+        rx = self._rx_inline
+        if rx is not None:
+            rx(packet)
+        else:
+            dst = self.dst
+            if dst is not None:
+                env.post(self.prop_delay, dst.receive, packet)
+        nxt = self.qdisc.dequeue(now)
+        if nxt is None:
+            self._busy = False
+            return
+        env.post(nxt.size * 8.0 / self.capacity.rate_at(now),
+                 self._finish_transmission, nxt)
 
     def capacity_bps(self, now: float) -> float:
         return self.capacity.rate_at(now)
@@ -355,6 +429,8 @@ class OpportunityLink(Link):
         self._next_index = 0
         self._cycle = 0
         self._started = False
+        if self._fastpath:
+            self._fire_opportunity = self._fire_opportunity_fast
 
     # ------------------------------------------------------------ trace math
     def _opportunity_time(self, index: int) -> float:
@@ -383,7 +459,7 @@ class OpportunityLink(Link):
 
     def _schedule_next_opportunity(self) -> None:
         when = self._opportunity_time(self._next_index)
-        self.env.schedule_at(when, self._fire_opportunity, self._next_index)
+        self._post_at(when, self._fire_opportunity, self._next_index)
         self._next_index += 1
 
     def _fire_opportunity(self, index: int) -> None:
@@ -401,6 +477,50 @@ class OpportunityLink(Link):
         if self.monitor is not None:
             self.monitor.record_opportunity(now, self.bytes_per_opportunity)
         self._schedule_next_opportunity()
+
+    def _fire_opportunity_fast(self, index: int) -> None:
+        # _fire_opportunity with peek, _deliver and the next-opportunity
+        # scheduling flattened (same statements in the same order).
+        env = self.env
+        now = env._now
+        budget = self.bytes_per_opportunity
+        qdisc = self.qdisc
+        peek = qdisc.peek
+        monitor = self.monitor
+        dequeue = qdisc.dequeue
+        prop_delay = self.prop_delay
+        rx = self._rx_inline
+        dst = self.dst
+        dst_receive = dst.receive if dst is not None else None
+        post = env.post
+        while budget > 0:
+            head = peek()
+            if head is None or head.size > budget:
+                break
+            packet = dequeue(now)
+            if packet is None:
+                break
+            size = packet.size
+            budget -= size
+            self.delivered_bytes += size
+            self.delivered_packets += 1
+            if monitor is not None:
+                monitor.departure_times.append(now)
+                monitor.departure_bytes.append(size)
+            if rx is not None:
+                rx(packet)
+            elif dst_receive is not None:
+                post(prop_delay, dst_receive, packet)
+        if monitor is not None:
+            monitor.opportunity_times.append(now)
+            monitor.opportunity_bytes += self.bytes_per_opportunity
+        # _opportunity_time inlined (integer divmod, identical expression).
+        next_index = self._next_index
+        times = self._times
+        cycle, offset = divmod(next_index, len(times))
+        env.post_at(cycle * self._trace_span + times[offset],
+                    self._fire_opportunity, next_index)
+        self._next_index = next_index + 1
 
     def _on_enqueue(self, now: float) -> None:
         # Opportunities are clocked by the trace, not by arrivals.

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cc.base import CongestionControl
 from repro.cellular.trace import CellularTrace
+from repro.simulator import fastpath
 from repro.simulator.endpoints import DelayHop, Receiver, Sender
 from repro.simulator.engine import EventLoop
 from repro.simulator.link import (CapacityModel, ConstantRate, Link,
@@ -33,15 +34,50 @@ from repro.simulator.traffic import TrafficSource
 
 
 class FlowDemux:
-    """Routes packets leaving a shared link to the flow's next hop."""
+    """Routes packets leaving a shared link to the flow's next hop.
 
-    def __init__(self, name: str = "demux"):
+    With the batched fast path on (``REPRO_BATCH_ACKS=1``, see
+    :mod:`repro.simulator.fastpath`) and an event loop to schedule on, routes
+    whose next hop is a :class:`DelayHop` are precompiled to
+    ``(delay, destination_callback, shifted)`` triples so a routed packet
+    costs one dict lookup and one ``post`` call instead of a hop bounce
+    through the event loop.  When the destination declares itself
+    ``deliver_shifted``-safe (a :class:`~repro.simulator.endpoints.Receiver`
+    — a per-flow leaf whose state nothing else observes mid-run), the post
+    is elided entirely: the destination runs synchronously with the computed
+    arrival time ``now + delay``, unless that time lies beyond the run
+    horizon (the classic path would leave such an arrival event unfired).
+    Scheduled times and per-object arrival orders are identical to the
+    classic path's; only heap sequence numbers shift.
+    """
+
+    #: A demux only *posts* future events when handed a packet — it never
+    #: mutates queue or flow state — so a link may invoke it synchronously
+    #: at delivery time instead of bouncing through a zero-delay event (the
+    #: fast path's links check this marker; arrival order at every stateful
+    #: object is unchanged, only heap sequence numbers shift).
+    deliver_inline = True
+
+    def __init__(self, name: str = "demux", env=None):
         self.name = name
         self.routes: Dict[int, object] = {}
         self.default_route: Optional[object] = None
+        self._fast: Dict[int, tuple] = {}
+        if env is not None and fastpath.enabled():
+            self._env = env
+            self.receive = self._receive_fast
 
     def set_route(self, flow_id: int, next_hop) -> None:
         self.routes[flow_id] = next_hop
+        if type(next_hop) is DelayHop and next_hop.dst is not None:
+            dst = next_hop.dst
+            if getattr(dst, "deliver_shifted", False):
+                self._fast[flow_id] = (next_hop.delay,
+                                       dst._receive_fast_at, True)
+            else:
+                self._fast[flow_id] = (next_hop.delay, dst.receive, False)
+        else:
+            self._fast.pop(flow_id, None)
 
     def receive(self, packet) -> None:
         hop = self.routes.get(packet.flow_id, self.default_route)
@@ -51,6 +87,23 @@ class FlowDemux:
             hop.send(packet)
         else:
             hop.receive(packet)
+
+    def _receive_fast(self, packet) -> None:
+        fast = self._fast.get(packet.flow_id)
+        if fast is None:
+            FlowDemux.receive(self, packet)
+            return
+        env = self._env
+        if fast[2]:
+            when = env._now + fast[0]
+            if when <= env._limit:
+                fast[1](packet, when)
+            else:
+                # The classic arrival event would sit in the heap beyond the
+                # run horizon and never fire; park it there the same way.
+                env.post(fast[0], fast[1], packet, when)
+        else:
+            env.post(fast[0], fast[1], packet)
 
 
 @dataclass
@@ -89,7 +142,7 @@ class Scenario:
     def _register_link(self, link: Link, name: str) -> Link:
         monitor = LinkMonitor(name=name)
         link.set_monitor(monitor)
-        demux = FlowDemux(name=f"{name}-demux")
+        demux = FlowDemux(name=f"{name}-demux", env=self.env)
         link.connect(demux)
         self._demux[id(link)] = demux
         self.monitors[name] = monitor

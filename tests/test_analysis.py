@@ -198,6 +198,23 @@ def test_zombie_list_more_flows_bigger_estimate():
     assert estimate(16) > estimate(2)
 
 
+def test_zombie_list_estimate_before_any_hits():
+    # Until the EWMA has seen a hit, the estimate falls back to the zombie
+    # count itself (and never below one flow).
+    z = ZombieList(size=8, alpha=0.1, seed=5)
+    assert z.estimated_flow_count() == 1.0
+    for i in range(4):
+        z.observe(f"flow-{i}")  # all distinct: every comparison misses
+    assert z._hit_probability <= 1e-6
+    assert z.estimated_flow_count() == float(len(z._zombies))
+
+
+def test_space_saving_rejects_negative_amount():
+    ss = SpaceSaving(capacity=4)
+    with pytest.raises(ValueError, match="non-negative"):
+        ss.update("k", -1.0)
+
+
 def test_zombie_list_validation_and_reset():
     with pytest.raises(ValueError):
         ZombieList(size=0)

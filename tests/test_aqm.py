@@ -140,6 +140,82 @@ def test_red_empty_queue_no_marking():
     assert q.dropped_packets == 0
 
 
+# ------------------------------------------------------------ edge paths
+def test_pie_tail_drops_when_buffer_full():
+    q = PIEQdisc(buffer_packets=3)
+    for i in range(3):
+        assert q.enqueue(mk(i), 0.0)
+    dropped_before = q.dropped_packets
+    assert not q.enqueue(mk(3), 0.0)
+    assert q.dropped_packets == dropped_before + 1
+    assert q.backlog_packets == 3
+
+
+def test_pie_marks_ecn_capable_at_low_drop_prob():
+    q = PIEQdisc(buffer_packets=50, ecn=True, seed=4)
+    for i in range(10):
+        q.enqueue(mk(i), 0.0)
+    # A standing queue past the burst allowance with a small drop
+    # probability: ECN-capable packets are marked instead of dropped
+    # (RFC 8033 switches to dropping above p = 0.1).
+    q._burst_allowance = 0.0
+    q._avg_dq_rate_bps = 8e6  # 10 x 1500 B backlog -> 15 ms > target/2
+    q.drop_prob = 0.05
+    marked = 0
+    dropped_before = q.dropped_packets
+    for i in range(10, 400):
+        before = q.marked_packets
+        assert q.enqueue(mk(i, ecn=ECN.BRAKE), 0.0)
+        marked += q.marked_packets - before
+        q.dequeue(0.0)  # keep the standing queue at ten packets
+    assert marked > 0
+    # ECN-capable traffic below the cliff is marked, never dropped.
+    assert q.dropped_packets == dropped_before
+
+
+def test_pie_dequeue_empty_returns_none():
+    q = PIEQdisc(buffer_packets=10)
+    assert q.dequeue(0.0) is None
+
+
+def test_pie_delay_estimate_fallbacks():
+    q = PIEQdisc(buffer_packets=50)
+    # No departures yet and no link attached: no rate to divide by.
+    q.enqueue(mk(0), 0.0)
+    assert q._estimate_delay() == 0.0
+
+    class _StubEnv:
+        now = 0.0
+
+    class _StubLink:
+        env = _StubEnv()
+
+        def capacity_bps(self, now):
+            return 12e6
+
+    q.attach(_StubLink())
+    # Little's law against the link capacity until the departure-rate EWMA
+    # has a sample: 1500 bytes at 12 Mbit/s = 1 ms.
+    assert q._estimate_delay() == pytest.approx(1500 * 8.0 / 12e6)
+
+
+def test_red_tail_drops_when_buffer_full():
+    q = REDQdisc(min_th=5, max_th=20, buffer_packets=4)
+    for i in range(4):
+        assert q.enqueue(mk(i), 0.0)
+    assert not q.enqueue(mk(4), 0.0)
+    assert q.dropped_packets == 1
+    assert q.backlog_packets == 4
+
+
+def test_codel_dequeue_empty_resets_dropping_state():
+    q = CoDelQdisc(target=0.001, interval=0.01)
+    assert q.dequeue(0.0) is None
+    q._dropping = True
+    assert q.dequeue(1.0) is None
+    assert q._dropping is False
+
+
 # ------------------------------------------------------------ integration
 def test_cubic_over_droptail_builds_bufferbloat(short_trace):
     result, link, flow = run_single_flow(Cubic(), DropTailQdisc(250), short_trace)

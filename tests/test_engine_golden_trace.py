@@ -26,6 +26,7 @@ from repro.cc import make_cc
 from repro.cellular.synthetic import lte_showcase_trace
 from repro.core.params import ABCParams
 from repro.core.router import ABCRouterQdisc
+from repro.simulator import fastpath
 from repro.simulator.engine import EventLoop
 from repro.simulator.scenario import Scenario
 
@@ -63,21 +64,35 @@ class RecordingLoop(EventLoop):
     def schedule_at(self, time, callback, *args):
         return super().schedule_at(time, self._wrap(callback), *args)
 
+    def post(self, delay, callback, *args):
+        super().post(delay, self._wrap(callback), *args)
+
+    def post_at(self, time, callback, *args):
+        super().post_at(time, self._wrap(callback), *args)
+
 
 def run_traced_scenario() -> list:
-    """Run the canonical golden scenario and return the event log."""
+    """Run the canonical golden scenario and return the event log.
+
+    Pinned to the classic (per-ACK) path: the batched fast path guarantees
+    bit-identical *results*, not an identical event trace (its lazy RTO timer
+    fires occasional no-op events and its fused hops change callback names).
+    The batched path has its own differential layer in
+    ``tests/test_batched_ack.py``.
+    """
     log: list = []
     trace = lte_showcase_trace(duration=DURATION, seed=TRACE_SEED)
-    scenario = Scenario()
-    scenario.env = RecordingLoop(log)
-    params = ABCParams()
-    link = scenario.add_cellular_link(
-        trace, qdisc=ABCRouterQdisc(params=params, buffer_packets=100),
-        name="cell")
-    scenario.add_flow(make_cc("abc", params=params), [link], rtt=0.08,
-                      label="abc")
-    scenario.add_flow(make_cc("cubic"), [link], rtt=0.08, label="cubic")
-    scenario.run(DURATION)
+    with fastpath.override(False):
+        scenario = Scenario()
+        scenario.env = RecordingLoop(log)
+        params = ABCParams()
+        link = scenario.add_cellular_link(
+            trace, qdisc=ABCRouterQdisc(params=params, buffer_packets=100),
+            name="cell")
+        scenario.add_flow(make_cc("abc", params=params), [link], rtt=0.08,
+                          label="abc")
+        scenario.add_flow(make_cc("cubic"), [link], rtt=0.08, label="cubic")
+        scenario.run(DURATION)
     log.append(("final_now", repr(scenario.env.now)))
     log.append(("events_processed", str(scenario.env.events_processed)))
     return log

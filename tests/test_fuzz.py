@@ -13,9 +13,9 @@ import json
 import pytest
 
 from repro.fuzz.campaign import evaluate_scenario, fuzz_cell, run_campaign
-from repro.fuzz.generator import (CROSS_TRAFFIC_SCHEMES, NATIVE, FlowSpec,
-                                  FuzzScenario, LinkSpec, ScenarioGen,
-                                  build_scenario)
+from repro.fuzz.generator import (CHURN_CCS, CROSS_TRAFFIC_SCHEMES, NATIVE,
+                                  FlowSpec, FuzzScenario, LinkSpec,
+                                  ScenarioGen, SmallMetroGen, build_scenario)
 from repro.fuzz.invariants import (CheckContext, CwndProbe, FAIRNESS_FLOOR,
                                    Violation, check_fairness,
                                    check_link_throughput, check_non_negative,
@@ -112,6 +112,64 @@ def test_signature_groups_structurally_similar_scenarios():
     assert a.signature() == b.signature()
     c = _tiny_scenario(n_flows=2)
     assert a.signature() != c.signature()
+
+
+# ================================================================ small metro
+def test_finite_flow_departs_after_its_transfer():
+    fuzz = _tiny_scenario(duration=2.0)
+    fuzz.flows[0].size_bytes = 60_000
+    ctx = _run(fuzz)
+    flow = ctx.built.flows[0]
+    assert flow.sender.completion_time is not None
+    assert flow.stats.bytes_received == 60_000
+    # A departed flow stops transmitting: everything sent was needed for the
+    # transfer (plus retransmissions).
+    assert flow.sender.packets_sent <= (60_000 // 1000 + 1
+                                        + flow.sender.retransmissions + 2)
+    assert run_invariants(ctx) == []
+
+
+def test_flow_spec_rejects_non_positive_size():
+    with pytest.raises(ValueError, match="size_bytes"):
+        FlowSpec(cc=NATIVE, rtt=0.05, size_bytes=0).validate()
+
+
+def test_small_metro_city_deterministic_and_valid():
+    first = SmallMetroGen(seed=5).sample_city(0)
+    second = SmallMetroGen(seed=5).sample_city(0)
+    assert ([cell.to_jsonable() for cell in first]
+            == [cell.to_jsonable() for cell in second])
+    assert 10 <= len(first) <= 20
+    churn = [flow for cell in first for flow in cell.flows
+             if flow.size_bytes is not None]
+    assert churn, "a metro city must have churn on"
+    assert {flow.cc for flow in churn} <= {NATIVE} | set(CHURN_CCS)
+    for cell in first:
+        cell.validate()  # raises on an invalid cell
+        assert cell.scheme == "abc"
+        assert any(flow.size_bytes is None for flow in cell.flows)
+    # JSON round-trip covers the new size_bytes field.
+    encoded = json.dumps([cell.to_jsonable() for cell in first])
+    assert [FuzzScenario.from_jsonable(data) for data in json.loads(encoded)] \
+        == first
+
+
+def test_small_metro_cells_satisfy_invariant_net():
+    city = SmallMetroGen(seed=3, min_cells=10, max_cells=12).sample_city(1)
+    # Full-city sweeps belong to the fuzz campaign; tier-1 checks a slice of
+    # cells end to end, enough to cover both link kinds and churn departure.
+    departed = 0
+    for cell in city[:4]:
+        ctx = _run(cell)
+        violations = run_invariants(ctx)
+        assert violations == [], (cell.scenario_id,
+                                  [v.message for v in violations])
+        for spec, flow in zip(cell.flows, ctx.built.flows):
+            if (spec.size_bytes is not None
+                    and flow.sender.completion_time is not None):
+                departed += 1
+                assert flow.stats.bytes_received == spec.size_bytes
+    assert departed > 0, "no churn flow completed in the sampled slice"
 
 
 # ================================================================ invariants

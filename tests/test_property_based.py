@@ -337,3 +337,90 @@ def test_random_small_scenarios_satisfy_invariant_suite(fuzz):
                        cwnd_samples=probe.samples)
     violations = run_invariants(ctx)
     assert violations == [], [v.message for v in violations]
+
+
+# ------------------------------------------------------------ metro workload
+# The metro pack's determinism contract: every generator is a pure function
+# of (cell, seed), bounds are hard, and the generated workload survives the
+# pickle round-trip the multiprocessing sweep executor puts it through.
+import pickle
+
+from repro.metro.workload import (bounded_pareto_sizes, parse_mix,
+                                  poisson_arrivals, scheme_assignment)
+
+_cells = st.text(alphabet="abcdefgh-0123456789", min_size=1, max_size=12)
+_seeds = st.integers(min_value=0, max_value=2**32)
+
+
+@SETTINGS
+@given(st.floats(min_value=0.1, max_value=50.0),
+       st.floats(min_value=0.1, max_value=20.0), _cells, _seeds)
+def test_poisson_arrivals_deterministic_ascending_bounded(rate, duration,
+                                                          cell, seed):
+    first = poisson_arrivals(rate, duration, cell, seed)
+    assert first == poisson_arrivals(rate, duration, cell, seed)
+    assert first == sorted(first)
+    assert len(first) == len(set(first)), "coincident arrivals"
+    assert all(0.0 < t < duration for t in first)
+
+
+@SETTINGS
+@given(st.floats(max_value=0.0, min_value=-10.0), _cells, _seeds)
+def test_poisson_arrivals_empty_for_nonpositive_rate(rate, cell, seed):
+    assert poisson_arrivals(rate, 10.0, cell, seed) == []
+    assert poisson_arrivals(2.0, 0.0, cell, seed) == []
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=0, max_value=1_000_000),
+       st.floats(min_value=0.3, max_value=3.0), _cells, _seeds)
+def test_bounded_pareto_sizes_deterministic_and_bounded(n, min_bytes, extra,
+                                                        alpha, cell, seed):
+    max_bytes = min_bytes + extra
+    first = bounded_pareto_sizes(n, cell, seed, min_bytes=min_bytes,
+                                 max_bytes=max_bytes, alpha=alpha)
+    assert first == bounded_pareto_sizes(n, cell, seed, min_bytes=min_bytes,
+                                         max_bytes=max_bytes, alpha=alpha)
+    assert len(first) == n
+    assert all(isinstance(size, int) for size in first)
+    assert all(min_bytes <= size <= max_bytes for size in first)
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=300),
+       st.lists(st.tuples(st.sampled_from(("abc", "cubic", "bbr", "vegas")),
+                          st.floats(min_value=0.01, max_value=10.0)),
+                min_size=1, max_size=4), _cells, _seeds)
+def test_scheme_assignment_deterministic_and_closed(n, mix, cell, seed):
+    first = scheme_assignment(n, mix, cell, seed)
+    assert first == scheme_assignment(n, mix, cell, seed)
+    assert len(first) == n
+    names = {name for name, _ in mix}
+    assert all(scheme in names for scheme in first)
+
+
+@SETTINGS
+@given(st.lists(st.tuples(st.sampled_from(("abc", "cubic", "bbr", "sprout")),
+                          st.floats(min_value=0.01, max_value=9.99)),
+                min_size=1, max_size=5, unique_by=lambda pair: pair[0]))
+def test_parse_mix_round_trips_weighted_labels(mix):
+    label = ",".join(f"{name}:{weight!r}" for name, weight in mix)
+    assert parse_mix(label) == list(mix)
+    # A bare scheme name is a weight-1.0 single-scheme mix.
+    assert parse_mix(mix[0][0]) == [(mix[0][0], 1.0)]
+
+
+@SETTINGS
+@given(_cells, _seeds, st.floats(min_value=0.5, max_value=4.0))
+def test_metro_jobs_pickle_round_trip(cell_suffix, seed, rate):
+    """Sweep-job kwargs — including the square-wave link tuples — must
+    survive the pickle trip to a multiprocessing worker unchanged."""
+    from repro.metro import metro_pack
+
+    spec = metro_pack(2, duration=1.0, trace_seed=seed % 1000 + 1,
+                      seeds=(seed % 7,), arrival_rate=rate)
+    _cells_out, jobs = spec.expand()
+    for job in jobs:
+        assert pickle.loads(pickle.dumps(job.kwargs)) == job.kwargs
