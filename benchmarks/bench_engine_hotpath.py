@@ -15,6 +15,13 @@ Run as a script to (re)generate the committed perf artifact::
 
     PYTHONPATH=src python benchmarks/bench_engine_hotpath.py --out BENCH_engine.json
     PYTHONPATH=src python benchmarks/bench_engine_hotpath.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py --check-overhead
+
+``--check-overhead`` is the telemetry guard: it re-measures the quick
+workloads (best-of-5) and fails if any rate falls more than ``--tolerance``
+below the artifact's ``quick_reference`` section — run with
+``REPRO_TELEMETRY`` unset it bounds the observability subsystem's
+disabled-mode cost.
 
 ``BENCH_engine.json`` records the pre-PR baseline (measured with the seed
 engine at commit b3a88b9, same machine, same workloads) next to the current
@@ -157,11 +164,40 @@ QUICK_ARGS = {
 }
 
 
-def measure(name: str, quick: bool = False, repeats: int = 3) -> dict:
+#: Repeats for the ``quick_reference`` section and ``--check-overhead``:
+#: quick-mode single runs vary ±15% on a busy machine, best-of-5 is stable
+#: enough for a small-percentage overhead comparison.
+OVERHEAD_REPEATS = 5
+
+#: Wall-clock seconds of discarded warmup before an overhead measurement.
+#: Frequency scaling ramps the CPU over the first ~3 s of sustained load
+#: (cold quick runs measure ~20% slower than hot ones), so both the
+#: reference and the check must measure at the same, hot, operating point.
+OVERHEAD_WARMUP_SECONDS = 3.0
+
+
+def _warm(name: str, seconds: float = OVERHEAD_WARMUP_SECONDS) -> None:
+    """Run ``name``'s quick workload repeatedly for ``seconds`` (discarded)."""
+    kwargs = QUICK_ARGS[name]
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        WORKLOADS[name](**kwargs)
+
+
+def measure_hot(name: str, repeats: int = OVERHEAD_REPEATS) -> dict:
+    """Warmed best-of-``repeats`` quick measurement (overhead protocol)."""
+    _warm(name)
+    return measure(name, quick=True, repeats=repeats)
+
+
+def measure(name: str, quick: bool = False,
+            repeats: int | None = None) -> dict:
     """Best-of-``repeats`` measurement of one workload."""
     kwargs = QUICK_ARGS[name] if quick else {}
+    if repeats is None:
+        repeats = 1 if quick else 3
     best: dict | None = None
-    for _ in range(1 if quick else repeats):
+    for _ in range(repeats):
         result = WORKLOADS[name](**kwargs)
         if best is None or result["events_per_sec"] > best["events_per_sec"]:
             best = result
@@ -175,8 +211,8 @@ def run_all(quick: bool = False) -> dict:
         current[name] = measure(name, quick=quick)
         base = PRE_PR_BASELINE[name]["events_per_sec"]
         speedup[name] = round(current[name]["events_per_sec"] / base, 2)
-    return {
-        "schema": 1,
+    payload = {
+        "schema": 2,
         "harness": "benchmarks/bench_engine_hotpath.py",
         "quick": quick,
         "python": platform.python_version(),
@@ -185,6 +221,49 @@ def run_all(quick: bool = False) -> dict:
         "current": current,
         "speedup_vs_pre_pr": speedup,
     }
+    if not quick:
+        # Quick-mode reference rates for --check-overhead: the comparison
+        # must be quick-vs-quick (full-mode workloads are larger, so their
+        # rates are not comparable to a quick run) and hot-vs-hot (see
+        # OVERHEAD_WARMUP_SECONDS).
+        payload["quick_reference"] = {
+            name: {"events_per_sec": measure_hot(name)["events_per_sec"]}
+            for name in WORKLOADS}
+    return payload
+
+
+def check_overhead(artifact: Path, tolerance: float,
+                   repeats: int = OVERHEAD_REPEATS) -> int:
+    """Guard mode: assert quick-mode rates within ``tolerance`` of reference.
+
+    Re-measures every workload (best-of-``repeats``, quick args) under the
+    *current* environment and compares against the committed artifact's
+    ``quick_reference`` section.  Run with ``REPRO_TELEMETRY`` unset this
+    bounds the telemetry subsystem's disabled-mode overhead; returns a
+    non-zero exit status on any violation.
+    """
+    payload = json.loads(artifact.read_text())
+    reference = payload.get("quick_reference")
+    if not reference:
+        print(f"error: {artifact} has no quick_reference section — "
+              f"regenerate it with --out (full mode)", file=sys.stderr)
+        return 2
+    failures = []
+    for name in WORKLOADS:
+        rate = measure_hot(name, repeats=repeats)["events_per_sec"]
+        ref = reference[name]["events_per_sec"]
+        ratio = rate / ref
+        verdict = "ok" if ratio >= 1.0 - tolerance else "FAIL"
+        print(f"{name:>14}: {rate:>12,.0f} events/s vs reference "
+              f"{ref:>12,.0f} ({ratio:6.1%})  {verdict}")
+        if ratio < 1.0 - tolerance:
+            failures.append(name)
+    if failures:
+        print(f"overhead check FAILED (>{tolerance:.0%} below reference): "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"overhead check passed (tolerance {tolerance:.0%})")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -220,7 +299,22 @@ def main(argv=None) -> int:
                         help="reduced workloads (CI smoke)")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the JSON artifact here")
+    parser.add_argument("--check-overhead", action="store_true",
+                        help="compare quick-mode rates against the "
+                             "artifact's quick_reference and fail beyond "
+                             "--tolerance (telemetry overhead guard)")
+    parser.add_argument("--artifact", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json",
+                        help="artifact to check against (default: committed "
+                             "BENCH_engine.json)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed fractional slowdown for "
+                             "--check-overhead (default 0.02; raise on "
+                             "noisy shared runners)")
     args = parser.parse_args(argv)
+    if args.check_overhead:
+        return check_overhead(args.artifact, args.tolerance)
     payload = run_all(quick=args.quick)
     for name, result in payload["current"].items():
         extra = (f", {result['pkts_per_sec']:,.0f} pkts/s"

@@ -23,10 +23,14 @@ from repro.fuzz.invariants import (CheckContext, CwndProbe, INVARIANT_NAMES,
                                    Violation, run_invariants,
                                    scenario_summary)
 from repro.fuzz.shrink import corpus_entry, save_corpus_entry, shrink_scenario
+from repro.obs.manifest import (build_manifest, provenance, run_dir,
+                                write_manifest)
 from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
 
 #: Report schema version (bump on incompatible report changes).
-REPORT_FORMAT = 1
+#: v2: reports embed the deterministic provenance record (git SHA, code
+#: version salt, REPRO_* knob snapshot) under ``manifest``.
+REPORT_FORMAT = 2
 
 
 def _run_once(fuzz: FuzzScenario):
@@ -151,7 +155,7 @@ def run_campaign(budget: int, seed: int = 0,
                 entry, Path(corpus_dir) /
                 f"{group['invariant']}-{target.scenario_id}.json")
 
-    return {
+    report = {
         "format": REPORT_FORMAT,
         "budget": budget,
         "seed": seed,
@@ -160,4 +164,15 @@ def run_campaign(budget: int, seed: int = 0,
         "violating_scenarios": violating_scenarios,
         "failure_groups": failures,
         "clean": not failures,
+        # Deterministic provenance only (no timestamps/timings): the report
+        # itself must stay byte-identical for a given (seed, budget).
+        "manifest": provenance(),
     }
+    # Side-band full manifest (timings, metrics) when REPRO_RUN_DIR is set.
+    if run_dir() is not None:
+        write_manifest(build_manifest(
+            "fuzz", executor=runner,
+            extra={"report": {k: report[k] for k in
+                              ("format", "budget", "seed", "scenarios_run",
+                               "violating_scenarios", "clean")}}))
+    return report

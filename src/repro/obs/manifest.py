@@ -1,0 +1,181 @@
+"""Run manifests: JSON provenance records for every sweep-scale run.
+
+When ``REPRO_RUN_DIR`` names a directory, every :meth:`SweepSpec.run_cells`
+call (and therefore every figure sweep, ``metro_pack`` city and fuzz
+campaign) writes one manifest there — enough to answer, months later, *what
+exactly produced this number*: the git SHA, the cache's code-version salt,
+the full ``REPRO_*`` knob environment, the grid (schemes × traces × seeds),
+per-job wall-clock timings (worker pid, queue wait), the executor's cache
+statistics and — when ``REPRO_TELEMETRY=1`` — the merged metrics snapshot.
+
+:func:`provenance` is the deterministic core of a manifest (no timestamps,
+no timings): fuzz campaign reports embed it verbatim so a failing corpus
+entry records the exact knob/seed environment that produced it without
+breaking the campaign's byte-identical-report contract.
+
+Manifests are side-band output: nothing in the repository reads them back at
+run time, so schema growth is cheap.  ``tools/export_trace.py`` renders the
+``executor.jobs`` timings as a ``chrome://tracing`` per-worker timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Environment variable naming the manifest/trace output directory; unset
+#: (the default) disables manifest emission entirely.
+RUN_DIR_ENV = "REPRO_RUN_DIR"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_SCHEMA = 1
+
+
+def run_dir() -> Optional[Path]:
+    """The manifest output directory, or None when manifests are disabled."""
+    raw = os.environ.get(RUN_DIR_ENV, "").strip()
+    return Path(raw).expanduser() if raw else None
+
+
+def knob_snapshot() -> Dict[str, str]:
+    """Every ``REPRO_*`` environment knob currently set (sorted)."""
+    return {key: value for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")}
+
+
+_GIT_SHA_CACHE: List[Optional[str]] = []
+
+
+def git_sha() -> Optional[str]:
+    """The repository HEAD commit, or None outside a git checkout.
+
+    Memoized per process — HEAD cannot move under a running sweep, and fuzz
+    campaigns call :func:`provenance` once per report.
+    """
+    if _GIT_SHA_CACHE:
+        return _GIT_SHA_CACHE[0]
+    sha = _read_git_sha()
+    _GIT_SHA_CACHE.append(sha)
+    return sha
+
+
+def _read_git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> Dict[str, Any]:
+    """The deterministic provenance record shared by every manifest.
+
+    Contains no timestamps or timings, so two runs from the same checkout
+    with the same environment produce byte-identical provenance — the
+    property fuzz reports rely on when they embed it.
+    """
+    from repro.runtime.cache import effective_salt  # late: avoid import cycle
+
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "git_sha": git_sha(),
+        "code_version_salt": effective_salt(),
+        "knobs": knob_snapshot(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def executor_record(executor: Any) -> Dict[str, Any]:
+    """JSON-able view of an executor's last run (stats + per-job timings)."""
+    stats = executor.last_stats
+    return {
+        "total": stats.total,
+        "cache_hits": stats.cache_hits,
+        "cache_corrupt": stats.cache_corrupt,
+        "executed": stats.executed,
+        "workers": stats.workers,
+        "wall_seconds": stats.wall_seconds,
+        "pool_reused": stats.pool_reused,
+        "jobs": list(stats.job_records),
+    }
+
+
+def build_manifest(kind: str, *, spec: Optional[Dict[str, Any]] = None,
+                   cells: Optional[List[Dict[str, Any]]] = None,
+                   executor: Any = None,
+                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble a full manifest dict (provenance + run-specific sections)."""
+    from repro.obs.metrics import enabled, registry
+
+    manifest = provenance()
+    manifest["kind"] = kind
+    manifest["created_unix"] = time.time()
+    if spec is not None:
+        manifest["spec"] = spec
+    if cells is not None:
+        manifest["cells"] = cells
+    if executor is not None:
+        manifest["executor"] = executor_record(executor)
+    manifest["metrics"] = registry().snapshot() if enabled() else None
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, Any],
+                   directory: Optional[Path] = None) -> Optional[Path]:
+    """Write ``manifest`` as JSON into the run directory; returns the path.
+
+    ``directory`` defaults to ``REPRO_RUN_DIR``; when neither is set the
+    manifest is dropped and None returned.  Filenames embed a monotonic
+    nanosecond timestamp plus the pid, so concurrent writers never collide.
+    """
+    directory = directory if directory is not None else run_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    name = (f"{manifest.get('kind', 'run')}-{time.time_ns()}"
+            f"-{os.getpid()}.json")
+    path = directory / name
+    path.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def spec_summary(spec: Any) -> Dict[str, Any]:
+    """Compact JSON-able description of a :class:`SweepSpec`-like grid."""
+    return {
+        "type": type(spec).__name__,
+        "schemes": [str(s) for s in spec.schemes],
+        "traces": [str(name) for name in spec.traces],
+        "seeds": [int(s) for s in spec.seeds],
+        "duration": spec.duration,
+        "rtt": spec.rtt,
+        "buffer_packets": spec.buffer_packets,
+        "param_grid_cells": len(list(spec.param_grid)),
+    }
+
+
+def maybe_write_sweep_manifest(spec: Any, cells: List[Any],
+                               executor: Any) -> Optional[Path]:
+    """Emit one manifest for a finished sweep (no-op without REPRO_RUN_DIR)."""
+    directory = run_dir()
+    if directory is None:
+        return None
+    cell_records = [
+        {"scheme": cell.scheme, "trace": cell.trace, "seed": cell.seed,
+         "overrides": [[str(k), repr(v)] for k, v in cell.overrides]}
+        for cell in cells]
+    manifest = build_manifest(
+        "sweep", spec=spec_summary(spec), cells=cell_records,
+        executor=executor)
+    return write_manifest(manifest, directory)

@@ -40,6 +40,8 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 #: Bump whenever simulator semantics change in a way that alters metrics;
 #: stale cache entries from older code versions then miss instead of lying.
 #: v3: hot-path overhaul — closed-form SquareWaveRate.bits_between changes
@@ -135,6 +137,13 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        # Telemetry handles resolve at construction time: no-op singletons
+        # when REPRO_TELEMETRY is off (see repro.obs.metrics).
+        self._obs_hits = obs_metrics.counter("cache.hits")
+        self._obs_misses = obs_metrics.counter("cache.misses")
+        self._obs_stores = obs_metrics.counter("cache.writes")
+        self._obs_corrupt = obs_metrics.counter("cache.corrupt")
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -147,6 +156,7 @@ class ResultCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            self._obs_misses.inc()
             return False, None
         except Exception:
             # A torn, truncated or garbage entry must behave as a miss (and
@@ -158,8 +168,12 @@ class ResultCache:
             # torn, this guards against external truncation/corruption.
             path.unlink(missing_ok=True)
             self.misses += 1
+            self.corrupt += 1
+            self._obs_misses.inc()
+            self._obs_corrupt.inc()
             return False, None
         self.hits += 1
+        self._obs_hits.inc()
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -178,6 +192,7 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        self._obs_stores.inc()
 
     def contains(self, key: str) -> bool:
         return self._path(key).exists()

@@ -49,6 +49,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import ProgressTracker, resolve_progress
 from repro.runtime.cache import (CACHE_DIR_ENV, ResultCache, effective_salt,
                                  stable_hash)
 from repro.runtime.trace_store import (TraceRef, install_snapshot,
@@ -140,6 +143,36 @@ def _execute_job(job: SweepJob) -> Any:
     return job.run()
 
 
+def _execute_job_observed(payload: Tuple[SweepJob, float]
+                          ) -> Tuple[Any, Dict[str, Any], Optional[dict]]:
+    """Worker-side trampoline for observed runs.
+
+    Returns ``(value, meta, metrics_snapshot)``: the job's result, a timing
+    record (worker pid, wall-clock start, wall time, how long the job sat in
+    the pool's queue) and — when ``REPRO_TELEMETRY`` is on — the worker
+    registry's snapshot, which is then **reset** so every job ships exactly
+    its own delta and the parent-side merge is order-independent.
+    """
+    job, submitted_unix = payload
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    value = job.run()
+    wall = time.perf_counter() - t0
+    meta = {
+        "label": job.label,
+        "pid": os.getpid(),
+        "start_unix": start_unix,
+        "wall_seconds": wall,
+        "queue_wait_seconds": max(start_unix - submitted_unix, 0.0),
+    }
+    snapshot = None
+    if obs_metrics.enabled():
+        registry = obs_metrics.registry()
+        snapshot = registry.snapshot()
+        registry.reset()
+    return value, meta, snapshot
+
+
 def _needed_trace_keys(jobs: Sequence[SweepJob]) -> set:
     """Content keys of every :class:`TraceRef` the jobs' kwargs reference."""
     keys = set()
@@ -159,10 +192,17 @@ class ExecutorStats:
 
     total: int = 0
     cache_hits: int = 0
+    #: Cache entries found corrupt during this run's scan — served as misses,
+    #: deleted, then recomputed and rewritten (distinct from ordinary misses).
+    cache_corrupt: int = 0
     executed: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
     pool_reused: bool = False
+    #: Per-executed-job timing records (label, worker pid, start, wall time,
+    #: queue wait) — populated only on observed runs (telemetry on,
+    #: ``REPRO_RUN_DIR`` set, or a progress callback active); empty otherwise.
+    job_records: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class SweepExecutor:
@@ -179,6 +219,12 @@ class SweepExecutor:
     salt:
         Code-version salt mixed into every cache key (see
         :mod:`repro.runtime.cache`).
+    progress:
+        Per-cell progress reporting: ``None`` defers to ``REPRO_PROGRESS``
+        (truthy selects the stderr line), ``True`` forces the stderr line,
+        ``False`` forces progress off, and any callable receives a
+        :class:`~repro.obs.progress.SweepProgress` after every completed
+        cell.
 
     Used as a plain object, every :meth:`run` call manages its own
     short-lived pool.  Used as a context manager (``with SweepExecutor(...)
@@ -188,8 +234,10 @@ class SweepExecutor:
 
     def __init__(self, jobs: Optional[int | str] = None,
                  cache_dir: Optional[os.PathLike | str] = None,
-                 salt: Optional[str] = None):
+                 salt: Optional[str] = None,
+                 progress: Union[None, bool, Callable] = None):
         self.workers = resolve_worker_count(jobs)
+        self.progress = progress
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV) or None
         self.cache: Optional[ResultCache] = (
@@ -251,7 +299,11 @@ class SweepExecutor:
         """Execute every job, returning results in submission order.
 
         Cached cells are served without executing; the remainder run either
-        in-process (one worker) or on a ``multiprocessing`` pool.
+        in-process (one worker) or on a ``multiprocessing`` pool.  With
+        telemetry on, a progress reporter active, or ``REPRO_RUN_DIR`` set,
+        the run is *observed*: per-job timing records are collected (and
+        worker metrics merged back) without changing any result — results
+        stay bit-identical either way.
         """
         jobs = list(jobs)
         started = time.perf_counter()
@@ -259,6 +311,7 @@ class SweepExecutor:
         keys: List[Optional[str]] = [None] * len(jobs)
         pending: List[int] = []
         hits = 0
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
         for index, job in enumerate(jobs):
             if self.cache is not None:
                 keys[index] = job.cache_key(self.salt)
@@ -269,20 +322,50 @@ class SweepExecutor:
                     continue
             pending.append(index)
 
+        callback = resolve_progress(self.progress)
+        observing = (callback is not None or obs_metrics.enabled()
+                     or obs_manifest.run_dir() is not None)
+        tracker = (ProgressTracker(len(jobs), hits, callback)
+                   if callback is not None else None)
+
         reused = False
+        job_records: List[Dict[str, Any]] = []
         if pending:
-            outputs, reused = self._execute([jobs[i] for i in pending])
+            pending_jobs = [jobs[i] for i in pending]
+            if observing:
+                outputs, reused, job_records = self._execute_observed(
+                    pending_jobs, tracker)
+            else:
+                outputs, reused = self._execute(pending_jobs)
             for index, value in zip(pending, outputs):
                 results[index] = value
                 if self.cache is not None:
                     self.cache.put(keys[index], value)
 
+        corrupt = ((self.cache.corrupt - corrupt_before)
+                   if self.cache is not None else 0)
         self.last_stats = ExecutorStats(
-            total=len(jobs), cache_hits=hits, executed=len(pending),
-            workers=self.workers,
+            total=len(jobs), cache_hits=hits, cache_corrupt=corrupt,
+            executed=len(pending), workers=self.workers,
             wall_seconds=time.perf_counter() - started,
-            pool_reused=reused)
+            pool_reused=reused, job_records=job_records)
+        if obs_metrics.enabled():
+            self._publish_run_metrics(job_records, reused)
         return results
+
+    def _publish_run_metrics(self, job_records: List[Dict[str, Any]],
+                             reused: bool) -> None:
+        """Fold the finished run's bookkeeping into the metrics registry."""
+        registry = obs_metrics.registry()
+        registry.counter("executor.runs").inc()
+        if reused:
+            registry.counter("executor.pool_reuses").inc()
+        registry.gauge("executor.workers").set(self.workers)
+        wall = registry.timer("executor.job_wall")
+        wait = registry.timer("executor.queue_wait")
+        for record in job_records:
+            wall.observe_ns(int(record["wall_seconds"] * 1e9))
+            wait.observe_ns(int(record["queue_wait_seconds"] * 1e9))
 
     def _execute(self, jobs: List[SweepJob]) -> Tuple[List[Any], bool]:
         """Run jobs; returns ``(results, pool_was_reused)``."""
@@ -300,6 +383,63 @@ class SweepExecutor:
                                   initializer=install_snapshot,
                                   initargs=(snapshot_for(needed),)) as pool:
             return pool.map(_execute_job, jobs, chunksize=1), False
+
+    def _execute_observed(
+            self, jobs: List[SweepJob], tracker: Optional[ProgressTracker]
+    ) -> Tuple[List[Any], bool, List[Dict[str, Any]]]:
+        """:meth:`_execute` plus per-job records, merge-back and progress.
+
+        Parallel runs stream results through ``imap(chunksize=1)`` — the
+        order-preserving twin of the unobserved path's ``map`` — so each
+        completed cell can update the progress line and merge its worker
+        metrics as it lands instead of at the end of the sweep.
+        """
+        records: List[Dict[str, Any]] = []
+        if self.workers <= 1 or len(jobs) <= 1:
+            # In-process: metrics accumulate directly in this registry (no
+            # snapshot/reset round-trip, which would orphan live handles).
+            outputs = []
+            for job in jobs:
+                start_unix = time.time()
+                t0 = time.perf_counter()
+                outputs.append(_execute_job(job))
+                records.append({
+                    "label": job.label, "pid": os.getpid(),
+                    "start_unix": start_unix,
+                    "wall_seconds": time.perf_counter() - t0,
+                    "queue_wait_seconds": 0.0,
+                })
+                if tracker is not None:
+                    tracker.job_done(job.label)
+            return outputs, False, records
+        payloads = [(job, time.time()) for job in jobs]
+        needed = _needed_trace_keys(jobs)
+        if self._persistent:
+            previous = self._pool
+            pool = self._ensure_pool(needed)
+            outputs = self._drain_observed(pool, payloads, records, tracker)
+            return outputs, pool is previous, records
+        processes = min(self.workers, len(jobs))
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=install_snapshot,
+                                  initargs=(snapshot_for(needed),)) as pool:
+            outputs = self._drain_observed(pool, payloads, records, tracker)
+        return outputs, False, records
+
+    @staticmethod
+    def _drain_observed(pool, payloads, records, tracker) -> List[Any]:
+        """Consume observed worker results in submission order."""
+        registry = obs_metrics.registry()
+        outputs: List[Any] = []
+        for value, meta, snapshot in pool.imap(_execute_job_observed,
+                                               payloads, chunksize=1):
+            outputs.append(value)
+            records.append(meta)
+            if snapshot is not None:
+                registry.merge(snapshot)
+            if tracker is not None:
+                tracker.job_done(meta["label"])
+        return outputs
 
 
 def get_executor(executor: Optional[SweepExecutor] = None,

@@ -209,10 +209,17 @@ class SweepSpec:
     # ------------------------------------------------------------------ run
     def run_cells(self, executor: Optional[SweepExecutor] = None
                   ) -> List[Tuple[SweepCell, Any]]:
-        """Execute the grid; returns ``(cell, result)`` pairs in grid order."""
+        """Execute the grid; returns ``(cell, result)`` pairs in grid order.
+
+        When ``REPRO_RUN_DIR`` is set, a JSON provenance manifest for the
+        finished sweep is written there (see :mod:`repro.obs.manifest`).
+        """
         executor = get_executor(executor)
         cells, jobs = self.expand()
-        return list(zip(cells, executor.run(jobs)))
+        results = list(zip(cells, executor.run(jobs)))
+        from repro.obs.manifest import maybe_write_sweep_manifest
+        maybe_write_sweep_manifest(self, cells, executor)
+        return results
 
     def run(self, executor: Optional[SweepExecutor] = None
             ) -> Dict[str, Dict[str, Any]]:

@@ -128,6 +128,7 @@ class Sender:
         self.loss_events = 0
         self.timeouts = 0
         self.acks_received = 0
+        self.rto_rearms = 0
         self.completion_time: Optional[float] = None
 
         self._started = False
@@ -405,6 +406,7 @@ class Sender:
 
     # ------------------------------------------------------------ timers
     def _arm_rto(self, now: float) -> None:
+        self.rto_rearms += 1
         if self._rto_handle is not None:
             self._rto_handle.cancel()
         self._rto_handle = self.env.schedule(self.rtt.rto * self._rto_backoff,
@@ -616,6 +618,7 @@ class Sender:
         return sent_packets > 0
 
     def _arm_rto_fast(self, now: float) -> None:
+        self.rto_rearms += 1
         # _arm_rto with the RTO property inlined and the cancel-and-repush
         # replaced by the lazy DeadlineTimer (same expiry instant, no heap
         # traffic while the deadline only moves forward).

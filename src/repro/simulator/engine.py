@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
 from itertools import count
+from time import perf_counter_ns
 from typing import Any, Callable, Optional
 
 #: Sentinel stored in an entry's callback slot once the event has fired (or
@@ -76,6 +77,7 @@ class EventHandle:
             # stays accurate and compaction can reclaim the slot.
             loop = self._loop
             loop._cancelled += 1
+            loop._total_cancels += 1
             loop._maybe_compact()
 
 
@@ -157,7 +159,9 @@ class EventLoop:
         self._running = False
         self._events_processed = 0
         self._cancelled = 0
+        self._total_cancels = 0
         self._compactions = 0
+        self._trace_hook: Optional[Callable[[float, Callable, int], None]] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -181,9 +185,36 @@ class EventLoop:
         return self._cancelled
 
     @property
+    def cancels(self) -> int:
+        """Cumulative in-heap cancellations over the loop's whole lifetime.
+
+        Unlike :attr:`cancelled_pending` this never decreases — compaction
+        and popping reclaim heap slots but leave this count alone — so the
+        telemetry harvest can report total cancel traffic.
+        """
+        return self._total_cancels
+
+    @property
     def compactions(self) -> int:
         """Times the heap has been compacted (introspection for tests)."""
         return self._compactions
+
+    # ----------------------------------------------------------------- trace
+    def set_trace_hook(
+            self, hook: Optional[Callable[[float, Callable, int], None]]
+    ) -> None:
+        """Install (or with ``None`` remove) a per-event dispatch observer.
+
+        While a hook is installed, :meth:`run` executes a separate traced
+        loop that calls ``hook(sim_time, callback, wall_ns)`` after every
+        dispatched event, where ``wall_ns`` is the callback's wall-clock cost
+        from :func:`time.perf_counter_ns`.  The hook observes only — the
+        event sequence and all simulation state are identical to an untraced
+        run.  With no hook installed (the default) the hot loop is untouched
+        and pays nothing; :class:`repro.obs.trace.EventTraceRecorder` is the
+        standard consumer.
+        """
+        self._trace_hook = hook
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -261,6 +292,8 @@ class EventLoop:
         even if the last event fires earlier; this makes utilisation
         calculations over a fixed horizon straightforward.
         """
+        if self._trace_hook is not None:
+            return self._run_traced(until, max_events)
         self._running = True
         heap = self._heap
         limit = float("inf") if until is None else until
@@ -288,6 +321,52 @@ class EventLoop:
                 if heap is not self._heap:
                     # A cancel inside the callback compacted the heap (the
                     # list was replaced); re-bind before the next pop.
+                    heap = self._heap
+                executed += 1
+                if max_events is not None:
+                    processed += 1
+                    if processed >= max_events:
+                        break
+        finally:
+            self._running = False
+            self._events_processed += executed
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _run_traced(self, until: Optional[float] = None,
+                    max_events: Optional[int] = None) -> None:
+        """:meth:`run` with the trace hook active.
+
+        A verbatim copy of the :meth:`run` loop plus the per-event hook call
+        and wall-clock timing.  Duplicating the loop (instead of branching on
+        the hook inside it) keeps the untraced hot path — the one every
+        benchmark and sweep runs — completely free of tracing overhead.
+        """
+        self._running = True
+        heap = self._heap
+        limit = float("inf") if until is None else until
+        self._limit = limit
+        hook = self._trace_hook
+        processed = 0
+        executed = 0
+        try:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > limit:
+                    break
+                heappop(heap)
+                callback = entry[2]
+                if callback is None:
+                    self._cancelled -= 1
+                    continue
+                entry[2] = _FIRED
+                if time > self._now:
+                    self._now = time
+                t0 = perf_counter_ns()
+                callback(*entry[3])
+                hook(time, callback, perf_counter_ns() - t0)
+                if heap is not self._heap:
                     heap = self._heap
                 executed += 1
                 if max_events is not None:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cc.base import CongestionControl
 from repro.cellular.trace import CellularTrace
+from repro.obs import metrics as obs_metrics
 from repro.simulator import fastpath
 from repro.simulator.endpoints import DelayHop, Receiver, Sender
 from repro.simulator.engine import EventLoop
@@ -262,6 +263,8 @@ class Scenario:
         if self.queue_sample_interval > 0:
             self.env.schedule(0.0, self._sample_queues)
         self.env.run(until=duration)
+        if obs_metrics.enabled():
+            obs_metrics.harvest_scenario(self)
         return ScenarioResult(self)
 
 

@@ -10,15 +10,21 @@ trace) and prints the top functions by ``tottime`` (or any other
     PYTHONPATH=src python tools/profile_hotpath.py --workload dispatch
     PYTHONPATH=src python tools/profile_hotpath.py --sort cumulative --top 40
     PYTHONPATH=src python tools/profile_hotpath.py --out profile.pstats
+    PYTHONPATH=src python tools/profile_hotpath.py --out profile.json
 
 A saved ``--out`` file can be explored interactively with
-``python -m pstats profile.pstats`` or rendered by snakeviz/gprof2dot.
+``python -m pstats profile.pstats`` or rendered by snakeviz/gprof2dot.  A
+``.json`` suffix writes the top rows as JSON instead (schema below), so a
+profile can land next to the run manifests: when ``--out`` has no directory
+component and ``REPRO_RUN_DIR`` is set, the file is written into the run
+directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 from pathlib import Path
@@ -50,6 +56,35 @@ def profile_workload(name: str) -> cProfile.Profile:
     return profiler
 
 
+def resolve_out(out: Path) -> Path:
+    """Route bare filenames into ``REPRO_RUN_DIR`` when it is set."""
+    from repro.obs.manifest import run_dir
+
+    directory = run_dir()
+    if directory is not None and out.parent == Path("."):
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory / out
+    return out
+
+
+def profile_json(stats: pstats.Stats, title: str, sort: str,
+                 top: int) -> dict:
+    """The top-N profile rows as a JSON-able dict (manifest side-band)."""
+    stats.sort_stats(sort)
+    rows = []
+    for func in stats.fcn_list[:top]:  # fcn_list is set by sort_stats
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "function": name, "file": filename, "line": line,
+            "primitive_calls": cc, "calls": nc,
+            "tottime": tt, "cumtime": ct,
+        })
+    return {"schema": 1, "kind": "profile", "title": title, "sort": sort,
+            "total_calls": stats.total_calls, "total_tt": stats.total_tt,
+            "rows": rows}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="cProfile the simulation hot path")
@@ -68,7 +103,10 @@ def main(argv=None) -> int:
     parser.add_argument("--sort", default="tottime",
                         help="pstats sort key (tottime, cumulative, calls, …)")
     parser.add_argument("--out", type=Path, default=None,
-                        help="also dump raw pstats data to this file")
+                        help="also dump the profile to this file: raw pstats "
+                             "data, or top-N rows as JSON for a .json suffix "
+                             "(a bare filename lands in REPRO_RUN_DIR when "
+                             "that is set)")
     args = parser.parse_args(argv)
 
     if args.workload is not None:
@@ -82,8 +120,13 @@ def main(argv=None) -> int:
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.out is not None:
-        stats.dump_stats(args.out)
-        print(f"wrote {args.out}")
+        out = resolve_out(args.out)
+        if out.suffix == ".json":
+            payload = profile_json(stats, title, args.sort, args.top)
+            out.write_text(json.dumps(payload, indent=1) + "\n")
+        else:
+            stats.dump_stats(out)
+        print(f"wrote {out}")
     return 0
 
 
