@@ -1,12 +1,15 @@
 """Metro-scale benchmark: batched ACK processing vs the classic per-ACK path.
 
-One workload — a city of cellular cells under mixed-scheme flow churn (see
-:mod:`repro.metro`) — run twice over the same jobs: once with the classic
-per-ACK event machinery and once with the batched fast path
+Two cities — the default mixed-scheme city and a BBR-weighted *paced* city
+(see :mod:`repro.metro`) — each run twice over the same jobs: once with the
+classic per-ACK event machinery and once with the batched fast path
 (``REPRO_BATCH_ACKS=1``).  The two runs must produce byte-identical per-cell
 results (asserted inside the benchmark itself, the same contract
-``tests/test_batched_ack.py`` pins), so the speedup column is a pure
-like-for-like comparison.
+``tests/test_batched_ack.py`` and ``tests/test_paced_fastpath.py`` pin), so
+the speedup column is a pure like-for-like comparison.  The paced city
+(``paced_city`` in the artifact) exists because pacing schemes historically
+fell off the fast path entirely; its speedup column tracks the fused
+paced-sender loop.
 
 Run as a script to (re)generate the committed perf artifact::
 
@@ -45,15 +48,23 @@ FULL_SCENARIO = dict(n_cells=200, duration=8.0, arrival_rate=1.0, seeds=(0,))
 #: Reduced city for CI smoke and the pytest entry point.
 QUICK_SCENARIO = dict(n_cells=12, duration=5.0, arrival_rate=1.0, seeds=(0,))
 
+#: Scheme mix for the paced city: dominated by BBR with a PCC-Vivace share,
+#: so nearly every sender runs the fused pacing-tick loop rather than the
+#: window-based (ACK-clocked) fast path.
+PACED_MIX = "bbr:0.6,pcc:0.2,abc:0.2"
 
-def run_metro(quick: bool = False, repeats: int = 2) -> dict:
+
+def run_metro(quick: bool = False, repeats: int = 2,
+              mix: str | None = None) -> dict:
     """Interleaved best-of-``repeats`` classic/batched runs of one city.
 
     Interleaving (classic, batched, classic, batched, ...) cancels slow
     machine-load drift out of the speedup ratio; equality of the full
     per-cell result lists is asserted on every repeat.
     """
-    scenario = QUICK_SCENARIO if quick else FULL_SCENARIO
+    scenario = dict(QUICK_SCENARIO if quick else FULL_SCENARIO)
+    if mix is not None:
+        scenario["mixes"] = (mix,)
     spec = metro_pack(**scenario)
     _cells, jobs = spec.expand()
     best = {False: float("inf"), True: float("inf")}
@@ -99,6 +110,7 @@ def run_all(quick: bool = False) -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         **run_metro(quick=quick),
+        "paced_city": run_metro(quick=quick, mix=PACED_MIX),
     }
 
 
@@ -123,6 +135,25 @@ if pytest is not None:
                 f"batched ACK path speedup {speedup:.2f}x fell below the "
                 f"1.3x floor")
 
+    @pytest.mark.benchmark(group="metro")
+    def test_metro_paced_batched_speedup(benchmark):
+        result = benchmark.pedantic(run_metro,
+                                    kwargs={"quick": True, "mix": PACED_MIX},
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        speedup = result["speedup_batched_vs_classic"]
+        print(f"\n  [metro-paced] classic "
+              f"{result['classic']['wall_sec']:.2f}s, batched "
+              f"{result['batched']['wall_sec']:.2f}s "
+              f"({speedup:.2f}x, identical={result['identical']})")
+        assert result["identical"]
+        import os
+        if os.environ.get("REPRO_PERF_GATE") == "1":
+            # The fused paced-sender loop is the whole point of this city;
+            # 1.3x is well under the committed full-city speedup.
+            assert speedup > 1.3, (
+                f"paced-city batched speedup {speedup:.2f}x fell below the "
+                f"1.3x floor")
+
 
 # ---------------------------------------------------------------------------
 # Script mode: write the perf artifact
@@ -135,12 +166,15 @@ def main(argv=None) -> int:
                         help="write the JSON artifact here")
     args = parser.parse_args(argv)
     payload = run_all(quick=args.quick)
-    s = payload["scenario"]
-    print(f"metro: {s['cells']} cells, {s['flows']} flows, mix {s['mix']}")
-    print(f"  classic  {payload['classic']['wall_sec']:>8.2f}s")
-    print(f"  batched  {payload['batched']['wall_sec']:>8.2f}s "
-          f"({payload['speedup_batched_vs_classic']:.2f}x, "
-          f"identical={payload['identical']})")
+    for label, city in (("metro", payload),
+                        ("metro-paced", payload["paced_city"])):
+        s = city["scenario"]
+        print(f"{label}: {s['cells']} cells, {s['flows']} flows, "
+              f"mix {s['mix']}")
+        print(f"  classic  {city['classic']['wall_sec']:>8.2f}s")
+        print(f"  batched  {city['batched']['wall_sec']:>8.2f}s "
+              f"({city['speedup_batched_vs_classic']:.2f}x, "
+              f"identical={city['identical']})")
     if args.out is not None:
         args.out.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"wrote {args.out}")

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.cellular.estimators import VectorRateEstimator
 from repro.core.marking import ProbabilisticMarker, TokenBucketMarker
 from repro.core.params import ABCParams
 from repro.simulator import fastpath
-from repro.simulator.estimators import (BatchedRateEstimator,
-                                        WindowedRateEstimator)
+from repro.simulator.estimators import WindowedRateEstimator
 from repro.simulator.packet import ECN, Packet, apply_brake
 from repro.simulator.qdisc import Qdisc
 
@@ -62,8 +62,11 @@ class ABCRouterQdisc(Qdisc):
         window = self.params.measurement_window
         self._fast = fastpath.enabled()
         if self._fast:
-            self._dequeue_rate = BatchedRateEstimator(window=window)
-            self._enqueue_rate = BatchedRateEstimator(window=window)
+            # Numpy-folded estimators: identical hot-write representation
+            # (the inlined appends in _enqueue_fast/_dequeue_fast work on
+            # them unchanged), vectorised window expiry on read.
+            self._dequeue_rate = VectorRateEstimator(window=window)
+            self._enqueue_rate = VectorRateEstimator(window=window)
         else:
             self._dequeue_rate = WindowedRateEstimator(window=window)
             self._enqueue_rate = WindowedRateEstimator(window=window)

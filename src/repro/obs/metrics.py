@@ -328,6 +328,10 @@ def harvest_scenario(scenario: Any) -> None:
     reg.counter("engine.events_dispatched").inc(env.events_processed)
     reg.counter("engine.events_cancelled").inc(env.cancels)
     reg.counter("engine.compactions").inc(env.compactions)
+    # Timer-wheel backend counters (0 / absent on the heap backend).
+    reg.counter("engine.wheel_rotations").inc(getattr(env, "rotations", 0))
+    reg.counter("engine.overflow_spills").inc(
+        getattr(env, "overflow_spills", 0))
     for link in scenario.links:
         reg.counter("link.arrived_packets").inc(link.arrived_packets)
         reg.counter("link.delivered_packets").inc(link.delivered_packets)
@@ -341,6 +345,9 @@ def harvest_scenario(scenario: Any) -> None:
         reg.counter("sender.timeouts").inc(sender.timeouts)
         reg.counter("sender.retransmissions").inc(sender.retransmissions)
         reg.counter("sender.packets_sent").inc(sender.packets_sent)
+        # Fused pacing-loop counters (absent on non-paced/classic senders).
+        reg.counter("sender.pace_ticks").inc(getattr(sender, "pace_ticks", 0))
+        reg.counter("sender.pace_halts").inc(getattr(sender, "pace_halts", 0))
         reg.counter("receiver.packets_received").inc(
             flow.receiver.packets_received)
         if getattr(sender, "_fast", False):

@@ -56,6 +56,12 @@ SALT_ENV = "REPRO_CACHE_SALT"
 #: cache is disabled unless a directory is passed explicitly.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable capping the cache's on-disk size in megabytes.
+#: When the cap is exceeded after a write, the oldest entries by mtime are
+#: evicted (mtime-LRU: entries are only ever *written*, never touched on
+#: read, so mtime order is write order).  Unset, empty or ``0`` = unbounded.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 
 def effective_salt(salt: Optional[str] = None) -> str:
     """The code-version salt plus any ``REPRO_CACHE_SALT`` extension."""
@@ -131,19 +137,39 @@ class ResultCache:
     :func:`stable_hash`; the cache never inspects the values themselves.
     """
 
-    def __init__(self, root: os.PathLike | str):
+    def __init__(self, root: os.PathLike | str,
+                 max_mb: Optional[float] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.evictions = 0
+        # Size cap (REPRO_CACHE_MAX_MB, read once at construction like the
+        # other runtime knobs); None/0 = unbounded.
+        if max_mb is None:
+            raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+            max_mb = float(raw) if raw else 0.0
+        self._max_bytes = int(max_mb * 1024 * 1024) if max_mb > 0 else None
+        # Sweeping stats the whole tree on every put would make writes O(n);
+        # instead a sweep runs on the first put and then once per
+        # ``_sweep_interval`` bytes written by this process.  The cap is
+        # therefore enforced to within one interval, which is the usual
+        # contract for an LRU disk cache shared by concurrent writers.  The
+        # interval never exceeds the cap itself, else a sub-megabyte cap
+        # would wait for a megabyte of writes before its first eviction.
+        self._sweep_interval = (
+            max(self._max_bytes // 8, min(1 << 20, self._max_bytes))
+            if self._max_bytes is not None else 0)
+        self._bytes_since_sweep: Optional[int] = None  # None = sweep on first put
         # Telemetry handles resolve at construction time: no-op singletons
         # when REPRO_TELEMETRY is off (see repro.obs.metrics).
         self._obs_hits = obs_metrics.counter("cache.hits")
         self._obs_misses = obs_metrics.counter("cache.misses")
         self._obs_stores = obs_metrics.counter("cache.writes")
         self._obs_corrupt = obs_metrics.counter("cache.corrupt")
+        self._obs_evictions = obs_metrics.counter("cache.evictions")
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -193,6 +219,46 @@ class ResultCache:
             raise
         self.stores += 1
         self._obs_stores.inc()
+        if self._max_bytes is not None:
+            written = self._bytes_since_sweep
+            if written is None:
+                self._sweep()
+            else:
+                try:
+                    written += path.stat().st_size
+                except OSError:
+                    written += 0
+                if written >= self._sweep_interval:
+                    self._sweep()
+                else:
+                    self._bytes_since_sweep = written
+
+    def _sweep(self) -> None:
+        """Evict oldest-mtime entries until the tree fits ``_max_bytes``.
+
+        The entry just written carries the newest mtime, so it is evicted
+        last; a concurrently-vanished file (another worker's eviction) is
+        simply skipped.
+        """
+        entries = []
+        total = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total > self._max_bytes:
+            entries.sort(key=lambda item: item[0])
+            for _, size, path in entries:
+                path.unlink(missing_ok=True)
+                self.evictions += 1
+                self._obs_evictions.inc()
+                total -= size
+                if total <= self._max_bytes:
+                    break
+        self._bytes_since_sweep = 0
 
     def contains(self, key: str) -> bool:
         return self._path(key).exists()

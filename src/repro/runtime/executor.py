@@ -195,6 +195,9 @@ class ExecutorStats:
     #: Cache entries found corrupt during this run's scan — served as misses,
     #: deleted, then recomputed and rewritten (distinct from ordinary misses).
     cache_corrupt: int = 0
+    #: Entries evicted by the REPRO_CACHE_MAX_MB size cap while this run's
+    #: results were being stored (mtime-LRU, see repro.runtime.cache).
+    cache_evictions: int = 0
     executed: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
@@ -312,6 +315,7 @@ class SweepExecutor:
         pending: List[int] = []
         hits = 0
         corrupt_before = self.cache.corrupt if self.cache is not None else 0
+        evictions_before = self.cache.evictions if self.cache is not None else 0
         for index, job in enumerate(jobs):
             if self.cache is not None:
                 keys[index] = job.cache_key(self.salt)
@@ -344,8 +348,11 @@ class SweepExecutor:
 
         corrupt = ((self.cache.corrupt - corrupt_before)
                    if self.cache is not None else 0)
+        evictions = ((self.cache.evictions - evictions_before)
+                     if self.cache is not None else 0)
         self.last_stats = ExecutorStats(
             total=len(jobs), cache_hits=hits, cache_corrupt=corrupt,
+            cache_evictions=evictions,
             executed=len(pending), workers=self.workers,
             wall_seconds=time.perf_counter() - started,
             pool_reused=reused, job_records=job_records)

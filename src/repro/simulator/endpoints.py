@@ -168,17 +168,38 @@ class Sender:
             self._try_send = self._try_send_fast
             self._arm_rto = self._arm_rto_fast
         elif fastpath.enabled():
-            # Pacing-based schemes keep the classic send/ACK machinery but
-            # still profit from the lazy RTO timer (per-ACK re-arming becomes
-            # two float writes instead of a heap cancel + push) and from
-            # handle-free pacing ticks.  Both are bit-identical: the timer
-            # fires the idempotent classic ``_on_rto`` (a stale fire with
-            # nothing outstanding is a no-op, exactly like a cancelled
-            # handle), and ``post`` builds the same heap entry ``schedule``
-            # would, minus the EventHandle.
+            # Pacing-based schemes (BBR, PCC-Vivace, RCP) get their own fused
+            # send loop: the per-tick call chain (_pace_tick -> _can_send_new
+            # _data -> _send_new_packet -> _transmit -> _forward) collapses
+            # into straight-line code with identical arithmetic — at most one
+            # packet per tick, so every packet keeps its classic sent_time —
+            # and the tick chain *halts* once the flow completes instead of
+            # polling forever.  They also keep the lazy RTO timer (per-ACK
+            # re-arming becomes two float writes instead of a heap cancel +
+            # push).  Both are result-identical: the timer fires the
+            # idempotent classic ``_on_rto``, and a completed paced sender's
+            # ticks are pure no-ops (see _pace_tick_fused).
+            cc_type = type(cc)
+            self._static_window = (
+                cc_type.on_packet_sent is CongestionControl.on_packet_sent)
+            self._static_meta = (
+                cc_type.packet_meta is CongestionControl.packet_meta)
+            source_type = type(self.source)
+            if source_type is BackloggedSource:
+                self._source_kind = 0
+            elif source_type is FixedSizeSource:
+                self._source_kind = 1
+            else:
+                self._source_kind = 2
+            self._fwd = None
+            self.pace_ticks = 0
+            self.pace_halts = 0
             self._rto_timer = DeadlineTimer(env, self._on_rto)
             self._arm_rto = self._arm_rto_fast
-            self._pace_tick = self._pace_tick_fast
+            # Exotic sources keep the thin classic tick (their data protocol
+            # cannot be collapsed into integer arithmetic).
+            self._pace_tick = (self._pace_tick_fast if self._source_kind == 2
+                               else self._pace_tick_fused)
             self.receive = self._receive_paced_fast
 
     # ------------------------------------------------------------ lifecycle
@@ -196,8 +217,7 @@ class Sender:
 
     def connect(self, egress) -> None:
         self.egress = egress
-        if self._fast:
-            self._fwd = None  # re-resolve the fused forward hop
+        self._fwd = None  # re-resolve the fused forward hop (fast paths)
 
     # ------------------------------------------------------------ properties
     @property
@@ -661,6 +681,89 @@ class Sender:
             interval = min(interval, IDLE_PACING_POLL)
         self.env.post(interval, self._pace_tick)
         self._check_completion(now)
+
+    def _pace_tick_fused(self) -> None:
+        # Classic ``_pace_tick`` with the whole send machinery inlined
+        # (mirroring _burst_fast's integer arithmetic for backlogged and
+        # fixed-size sources; at most one packet per tick, so every packet
+        # keeps its classic sent_time and the cc sees the same call sequence)
+        # and the tick chain *halted* once the flow completes.  Halting is
+        # result-identical: a completed sender has a finished source, nothing
+        # outstanding and an empty retransmit queue, and ``pacing_rate()`` is
+        # a pure read, so every later classic tick is a no-op that only
+        # schedules its successor.
+        now = self.env._now
+        self.pace_ticks += 1
+        cc = self.cc
+        rate = cc.pacing_rate() or 0.0
+        sent = False
+        if rate > 0:
+            outstanding = self.outstanding
+            n = len(outstanding)
+            cwnd = cc.cwnd()
+            floor = cc.min_cwnd()
+            if floor > cwnd:
+                cwnd = floor
+            if self.retransmit_queue:
+                if n + 1 <= cwnd:
+                    self._send_retransmission(now)
+                    sent = True
+            elif n + 1 <= cwnd:
+                mss = self.mss
+                if self._source_kind == 1:
+                    source = self.source
+                    available = source.total_bytes - source.sent_bytes
+                    size = mss if available >= mss else available
+                    if size >= 1:
+                        source.sent_bytes += size
+                    else:
+                        size = 0
+                else:
+                    size = mss
+                if size > 0:
+                    abc_capable = cc.uses_abc
+                    meta = {} if self._static_meta else cc.packet_meta(now)
+                    seq = self.next_seq
+                    self.next_seq = seq + 1
+                    packet = packet_pool.acquire_packet(
+                        self.flow_id, seq, size,
+                        ECN.ACCEL if abc_capable else ECN.NOT_ECT,
+                        now, False, abc_capable, meta)
+                    outstanding[seq] = _SentInfo(seq, size, now, False)
+                    self.bytes_sent += size
+                    self.packets_sent += 1
+                    if not self._static_window:
+                        cc.on_packet_sent(now, seq, size, n + 1)
+                    fwd = self._fwd
+                    if fwd is None:
+                        fwd = self._resolve_forward()
+                    fwd_cb = fwd[1]
+                    if fwd_cb is not None:
+                        self.env.post(fwd[0], fwd_cb, packet)
+                    else:
+                        egress = self.egress
+                        if egress is not None:
+                            _forward(egress, packet)
+                    self._arm_rto_fast(now)
+                    sent = True
+        if rate > 0:
+            interval = self.mss * 8.0 / rate
+            if not sent and interval > IDLE_PACING_POLL:
+                # Window- or application-limited: poll again shortly so we
+                # react quickly once the constraint clears.
+                interval = IDLE_PACING_POLL
+        else:
+            interval = IDLE_PACING_POLL
+        if self.completion_time is not None:
+            return
+        if (self._source_kind == 1 and not self.outstanding
+                and not self.retransmit_queue and self.source.finished(now)):
+            # Same tick, same instant the classic _check_completion would
+            # stamp — but the pacing loop stops here instead of idling on.
+            self.completion_time = now
+            self.pace_halts += 1
+            return
+        self.env.post(interval, self._pace_tick)
 
     def _receive_paced_fast(self, ack) -> None:
         # Classic ``_handle_ack`` for pacing-based schemes, with

@@ -1,0 +1,79 @@
+"""The event-scheduler backend knob.
+
+``REPRO_SCHED=wheel`` switches :class:`~repro.simulator.engine.EventLoop`
+construction onto the calendar-queue/timer-wheel backend
+(:class:`~repro.simulator.engine.TimerWheelLoop`): near-future events land in
+fixed-width time buckets (one ``list.append`` per schedule, one sort per
+bucket at dispatch) instead of a binary heap, with a sorted overflow spill
+for events beyond the wheel horizon.  ``REPRO_SCHED=heap`` (or unset) keeps
+the classic heap backend.
+
+Contract
+--------
+The wheel is **bit-for-bit event-sequence identical** to the heap: events
+fire at the same simulated times in the same order (equal-time events in
+insertion order), so every simulation result — golden traces included — is
+unchanged.  ``tests/test_engine_golden_trace.py`` pins this against the
+committed golden event trace, and ``tests/test_metro_golden.py`` pins the
+golden metro city under both backends.
+
+Like the batched-ACK knob (:mod:`repro.simulator.fastpath`), the backend is
+read **at construction time**: ``EventLoop()`` dispatches to the selected
+backend in ``__new__``; already-constructed loops keep their backend.  Use
+:func:`override` around scenario construction *and* execution when toggling
+programmatically.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment variable selecting the scheduler backend.
+ENV_KNOB = "REPRO_SCHED"
+
+#: Recognised backend names.
+BACKENDS = ("heap", "wheel")
+
+#: Programmatic override; None defers to the environment.
+_override: Optional[str] = None
+
+
+def backend() -> str:
+    """The active backend name: ``"heap"`` (default) or ``"wheel"``."""
+    if _override is not None:
+        return _override
+    value = os.environ.get(ENV_KNOB, "").strip().lower()
+    if not value:
+        return "heap"
+    if value not in BACKENDS:
+        raise ValueError(
+            f"{ENV_KNOB} must be one of {BACKENDS}, got {value!r}")
+    return value
+
+
+def wheel_enabled() -> bool:
+    """True when new :class:`EventLoop` instances use the timer wheel."""
+    return backend() == "wheel"
+
+
+@contextmanager
+def override(name: Optional[str]) -> Iterator[None]:
+    """Force the backend within a ``with`` block (None = no-op).
+
+    Used by the differential tests and by job functions that carry the knob
+    in their kwargs instead of the environment.
+    """
+    global _override
+    if name is None:
+        yield
+        return
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    previous = _override
+    _override = name
+    try:
+        yield
+    finally:
+        _override = previous

@@ -1,17 +1,20 @@
 """Golden per-event determinism trace for the engine hot path.
 
 The hot-path optimisations (tuple-based heap entries, lazy cancellation with
-compaction, slotted packets, flat-array monitors) are only admissible if they
-leave the simulation's event sequence untouched.  This test replays a small
-but representative scenario — two flows (ABC + Cubic) over a trace-driven
-cellular bottleneck, exercising opportunity firing, ACK clocking, RTO
-arm/cancel churn and queue sampling — while recording every fired event as
-``(repr(now), callback qualname)``, and compares the sequence against a
-golden trace captured from the seed (pre-optimisation) engine.
+compaction, slotted packets, flat-array monitors, the timer-wheel scheduler
+backend) are only admissible if they leave the simulation's event sequence
+untouched.  This test replays a small but representative scenario — two flows
+(ABC + Cubic) over a trace-driven cellular bottleneck, exercising opportunity
+firing, ACK clocking, RTO arm/cancel churn and queue sampling — while
+recording every fired event as ``(repr(now), callback qualname)`` through the
+engine's trace hook, and compares the sequence against a golden trace
+captured from the seed (pre-optimisation) engine.
 
-Any divergence — an event firing at a different time, in a different order,
-or a different number of events — fails loudly.  Regenerate the golden file
-only for an *intentional* semantic change::
+Both scheduler backends (``REPRO_SCHED=heap|wheel``) are pinned against the
+*same* golden file: the wheel's contract is a bit-for-bit identical event
+sequence, so any divergence — an event firing at a different time, in a
+different order, or a different number of events — fails loudly.  Regenerate
+the golden file only for an *intentional* semantic change::
 
     PYTHONPATH=src python tests/test_engine_golden_trace.py --regenerate
 """
@@ -22,12 +25,14 @@ import hashlib
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cc import make_cc
 from repro.cellular.synthetic import lte_showcase_trace
 from repro.core.params import ABCParams
 from repro.core.router import ABCRouterQdisc
-from repro.simulator import fastpath
-from repro.simulator.engine import EventLoop
+from repro.simulator import fastpath, sched
+from repro.simulator.engine import EventLoop, TimerWheelLoop
 from repro.simulator.scenario import Scenario
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_event_trace.json"
@@ -36,55 +41,33 @@ DURATION = 3.0
 TRACE_SEED = 11
 
 
-class RecordingLoop(EventLoop):
-    """EventLoop that logs ``(repr(now), callback qualname)`` per fired event.
-
-    ``schedule`` and ``schedule_at`` are the engine's only entry points (both
-    construct heap entries directly, for speed), so wrapping callbacks in
-    both captures the complete event sequence.
-    """
-
-    def __init__(self, log: list):
-        super().__init__()
-        self._log = log
-
-    def _wrap(self, callback):
-        name = getattr(callback, "__qualname__",
-                       getattr(callback, "__name__", str(callback)))
-
-        def wrapped(*a, _cb=callback, _name=name):
-            self._log.append((repr(self.now), _name))
-            _cb(*a)
-
-        return wrapped
-
-    def schedule(self, delay, callback, *args):
-        return super().schedule(delay, self._wrap(callback), *args)
-
-    def schedule_at(self, time, callback, *args):
-        return super().schedule_at(time, self._wrap(callback), *args)
-
-    def post(self, delay, callback, *args):
-        super().post(delay, self._wrap(callback), *args)
-
-    def post_at(self, time, callback, *args):
-        super().post_at(time, self._wrap(callback), *args)
-
-
-def run_traced_scenario() -> list:
+def run_traced_scenario(backend: str | None = None,
+                        batched: bool = False) -> list:
     """Run the canonical golden scenario and return the event log.
 
-    Pinned to the classic (per-ACK) path: the batched fast path guarantees
-    bit-identical *results*, not an identical event trace (its lazy RTO timer
-    fires occasional no-op events and its fused hops change callback names).
-    The batched path has its own differential layer in
-    ``tests/test_batched_ack.py``.
+    Recording goes through :meth:`EventLoop.set_trace_hook`, which works
+    identically on both scheduler backends: the hook receives each entry's
+    scheduled time (equal to ``now`` at dispatch) and the raw callback, so
+    the log is exactly the ``(repr(now), qualname)`` sequence the seed
+    recorder produced.
+
+    The golden digest is pinned on the classic (per-ACK) path: the batched
+    fast path guarantees bit-identical *results*, not an identical event
+    trace (its lazy RTO timer fires occasional no-op events and its fused
+    hops change callback names) — ``batched=True`` is used only for the
+    backend-equivalence comparison below.
     """
     log: list = []
+
+    def hook(time: float, callback, wall_ns: int) -> None:
+        log.append((repr(time),
+                    getattr(callback, "__qualname__",
+                            getattr(callback, "__name__", str(callback)))))
+
     trace = lte_showcase_trace(duration=DURATION, seed=TRACE_SEED)
-    with fastpath.override(False):
+    with fastpath.override(batched), sched.override(backend):
         scenario = Scenario()
-        scenario.env = RecordingLoop(log)
+        scenario.env.set_trace_hook(hook)
         params = ABCParams()
         link = scenario.add_cellular_link(
             trace, qdisc=ABCRouterQdisc(params=params, buffer_packets=100),
@@ -92,6 +75,9 @@ def run_traced_scenario() -> list:
         scenario.add_flow(make_cc("abc", params=params), [link], rtt=0.08,
                           label="abc")
         scenario.add_flow(make_cc("cubic"), [link], rtt=0.08, label="cubic")
+        if backend is not None:
+            expected = TimerWheelLoop if backend == "wheel" else EventLoop
+            assert type(scenario.env) is expected
         scenario.run(DURATION)
     log.append(("final_now", repr(scenario.env.now)))
     log.append(("events_processed", str(scenario.env.events_processed)))
@@ -103,9 +89,10 @@ def _digest(log: list) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def test_event_sequence_matches_seed_engine():
+@pytest.mark.parametrize("backend", sched.BACKENDS)
+def test_event_sequence_matches_seed_engine(backend):
     golden = json.loads(GOLDEN_PATH.read_text())
-    log = run_traced_scenario()
+    log = run_traced_scenario(backend)
     # Head/tail first: a readable diff when something diverges.
     head = [list(entry) for entry in log[:len(golden["head"])]]
     tail = [list(entry) for entry in log[-len(golden["tail"]):]]
@@ -114,6 +101,15 @@ def test_event_sequence_matches_seed_engine():
     assert len(log) == golden["n_entries"]
     # Then the full sequence, compressed to a digest.
     assert _digest(log) == golden["sha256"]
+
+
+def test_wheel_trace_matches_heap_under_batched_acks():
+    """The backends must agree event for event in the batched-ACK mode too
+    (that trace differs from the golden classic one, so it is compared
+    heap-vs-wheel directly)."""
+    heap_log = run_traced_scenario("heap", batched=True)
+    wheel_log = run_traced_scenario("wheel", batched=True)
+    assert heap_log == wheel_log
 
 
 def _regenerate() -> None:

@@ -169,6 +169,34 @@ def test_harvest_publishes_component_counters():
             + counters["sender.classic_flows"]) == 1
 
 
+def test_harvest_publishes_wheel_and_pacing_counters():
+    """The scheduler-backend and fused-pacing counters ride the same
+    end-of-run harvest: non-zero under REPRO_SCHED=wheel + a paced fastpath
+    flow, zero (but present) on the classic heap/per-ACK configuration."""
+    from repro.simulator import fastpath, sched
+
+    with obs_metrics.override(True), sched.override("wheel"), \
+            fastpath.override(True):
+        # > 8 s so the cursor wraps the 4096-slot wheel at least once.
+        result = _run_fig_cell(scheme="bbr", duration=9.0)
+    scenario = result.extra["scenario"]
+    counters = obs_metrics.registry().snapshot()["counters"]
+    assert counters["engine.wheel_rotations"] == scenario.env.rotations
+    assert counters["engine.wheel_rotations"] > 0
+    assert counters["engine.overflow_spills"] == scenario.env.overflow_spills
+    sender = scenario.flows[0].sender
+    assert counters["sender.pace_ticks"] == sender.pace_ticks > 0
+    assert counters["sender.pace_halts"] == sender.pace_halts
+
+    obs_metrics.registry().reset()
+    with obs_metrics.override(True), sched.override("heap"), \
+            fastpath.override(False):
+        _run_fig_cell(scheme="bbr")
+    counters = obs_metrics.registry().snapshot()["counters"]
+    assert counters["engine.wheel_rotations"] == 0
+    assert counters["sender.pace_ticks"] == 0
+
+
 def test_results_bit_identical_with_and_without_telemetry():
     with obs_metrics.override(False):
         off = _run_fig_cell()

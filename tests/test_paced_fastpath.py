@@ -1,0 +1,152 @@
+"""Differential equivalence for the fused paced-sender fast path.
+
+``REPRO_BATCH_ACKS=1`` historically left pacing-scheme senders (BBR,
+PCC-Vivace) on the classic tick machinery; the fused loop now inlines the
+whole send decision — window check, retransmission-queue flush, source
+draw, packet construction, forward-hop resolution, RTO re-arm — into one
+``_pace_tick_fused`` callback, and *halts* the tick chain once a finite
+flow completes instead of polling a dead flow forever.
+
+The contract is the batched-ACK one: **bit-identical results** (every
+per-packet timestamp, delay, drop count and completion time), verified
+here over cellular traces, AQM bottlenecks, random loss, multi-flow
+coexistence and finite (churn-style) flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aqm import CoDelQdisc, PIEQdisc
+from repro.cc import make_cc
+from repro.cellular.synthetic import lte_showcase_trace
+from repro.simulator import fastpath
+from repro.simulator.scenario import Scenario
+from repro.simulator.traffic import FixedSizeSource
+
+from test_batched_ack import both_modes, flow_summary, scenario_summary
+
+PACED_SCHEMES = ("bbr", "pcc")
+
+
+# ---------------------------------------------------------------- traces
+@pytest.mark.parametrize("scheme", PACED_SCHEMES)
+def test_paced_scheme_on_trace_bit_identical(scheme):
+    def run():
+        scenario = Scenario()
+        link = scenario.add_cellular_link(
+            lte_showcase_trace(duration=3.0, seed=9), name="cell")
+        scenario.add_flow(make_cc(scheme), [link], rtt=0.08, label=scheme)
+        scenario.run(3.0)
+        return scenario_summary(scenario, [link])
+
+    classic, batched = both_modes(run)
+    assert classic == batched
+    assert classic["flows"][0]["packets_sent"] > 50
+
+
+# ---------------------------------------------------------------- AQMs
+@pytest.mark.parametrize("scheme", PACED_SCHEMES)
+@pytest.mark.parametrize("qdisc_factory", [
+    lambda: CoDelQdisc(buffer_packets=60),
+    lambda: PIEQdisc(buffer_packets=60),
+], ids=["codel", "pie"])
+def test_paced_scheme_under_aqm_bit_identical(scheme, qdisc_factory):
+    def run():
+        scenario = Scenario()
+        link = scenario.add_rate_link(8e6, qdisc=qdisc_factory(), name="aqm")
+        scenario.add_flow(make_cc(scheme), [link], rtt=0.06, label=scheme)
+        scenario.run(3.0)
+        return scenario_summary(scenario, [link])
+
+    classic, batched = both_modes(run)
+    assert classic == batched
+
+
+# ---------------------------------------------------------------- loss
+@pytest.mark.parametrize("scheme", PACED_SCHEMES)
+def test_paced_scheme_with_random_loss_bit_identical(scheme):
+    def run():
+        scenario = Scenario()
+        link = scenario.add_rate_link(10e6, loss_rate=0.02, loss_seed=4,
+                                      name="lossy")
+        scenario.add_flow(make_cc(scheme), [link], rtt=0.05, label=scheme)
+        scenario.run(3.0)
+        return scenario_summary(scenario, [link])
+
+    classic, batched = both_modes(run)
+    assert classic == batched
+    assert classic["flows"][0]["retransmissions"] > 0, (
+        "the lossy run stopped retransmitting; the differential lost its "
+        "retransmission-queue coverage")
+
+
+# ----------------------------------------------------- mixed coexistence
+def test_paced_and_window_schemes_share_bottleneck_bit_identical():
+    """BBR + PCC + Cubic on one queue: fused paced senders interleave with
+    the window-based fast path on the same demux and qdisc."""
+    def run():
+        scenario = Scenario()
+        link = scenario.add_cellular_link(
+            lte_showcase_trace(duration=3.0, seed=13), name="shared")
+        for scheme in ("bbr", "pcc", "cubic"):
+            scenario.add_flow(make_cc(scheme), [link], rtt=0.08, label=scheme)
+        scenario.run(3.0)
+        return scenario_summary(scenario, [link])
+
+    classic, batched = both_modes(run)
+    assert classic == batched
+
+
+# ------------------------------------------------------ finite flows/halt
+def _churn_scenario():
+    scenario = Scenario()
+    link = scenario.add_rate_link(12e6, name="bottleneck")
+    for i, size in enumerate((40_000, 200_000, 1_000_000)):
+        scenario.add_flow(make_cc("bbr"), [link], rtt=0.05,
+                          start_time=0.1 * i,
+                          source=FixedSizeSource(size),
+                          label=f"churn-{i}")
+    scenario.add_flow(make_cc("pcc"), [link], rtt=0.05,
+                      source=FixedSizeSource(300_000), label="churn-pcc")
+    scenario.run(6.0)
+    return scenario, link
+
+
+def test_finite_paced_flows_bit_identical_and_complete():
+    def run():
+        scenario, link = _churn_scenario()
+        return scenario_summary(scenario, [link])
+
+    classic, batched = both_modes(run)
+    assert classic == batched
+    completions = [f["completion_time"] for f in classic["flows"]]
+    assert all(t is not None for t in completions), (
+        "every finite flow was expected to finish within the horizon")
+
+
+def test_fused_tick_halts_after_completion():
+    """The fused loop must stop re-posting pace ticks once a finite flow
+    completes — that is the perf win — and count the halt."""
+    with fastpath.override(True):
+        scenario, _link = _churn_scenario()
+    for flow in scenario.flows:
+        sender = flow.sender
+        assert sender.pace_ticks > 0
+        assert sender.pace_halts == 1
+        assert sender.completion_time is not None
+    # No pace tick fires after a halt: without one, a completed flow would
+    # keep idle-polling at IDLE_PACING_POLL for the rest of the horizon.
+    # The 40 kB flow finishes in well under a second, so its tick count
+    # must come nowhere near a full horizon of polling.
+    from repro.simulator.endpoints import IDLE_PACING_POLL
+    small = scenario.flows[0].sender
+    assert small.pace_ticks < 0.5 * (6.0 / IDLE_PACING_POLL)
+
+
+def test_classic_senders_expose_no_pace_counters():
+    with fastpath.override(False):
+        scenario, _link = _churn_scenario()
+    sender = scenario.flows[0].sender
+    assert getattr(sender, "pace_ticks", 0) == 0
+    assert getattr(sender, "pace_halts", 0) == 0

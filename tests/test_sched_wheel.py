@@ -1,0 +1,242 @@
+"""Timer-wheel scheduler backend: knob, equivalence and wheel mechanics.
+
+The wheel's contract (``REPRO_SCHED=wheel``) is *bit-for-bit* the heap's:
+identical firing order — including same-timestamp insertion-order ties —
+identical cancellation semantics, identical ``now``/``pending``/
+``events_processed`` accounting, for any program of ``schedule`` /
+``schedule_at`` / ``post`` / ``cancel`` / nested re-scheduling calls.
+Hypothesis drives randomized programs through both backends here; the
+golden-trace and golden-metro suites pin real workloads against committed
+snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import sched
+from repro.simulator.engine import EventLoop, TimerWheelLoop
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+#: Time palette for generated programs: deliberate duplicates (tie-breaks),
+#: sub-slot times, slot boundaries, and times beyond the 8 s wheel horizon
+#: (``NUM_SLOTS * SLOT_WIDTH``) so schedules exercise the overflow heap and
+#: its drain-on-rotation path, not just the near-future buckets.
+_TIMES = (0.0, 0.0005, 0.25, 0.25, 1.0, 1.0, 4.0, 7.999, 9.0, 9.0,
+          25.0, 120.0)
+
+_HORIZON = TimerWheelLoop.NUM_SLOTS * TimerWheelLoop.SLOT_WIDTH
+
+
+# ---------------------------------------------------------------- knob
+def test_knob_selects_backend(monkeypatch):
+    monkeypatch.delenv(sched.ENV_KNOB, raising=False)
+    assert sched.backend() == "heap"
+    assert type(EventLoop()) is EventLoop
+    monkeypatch.setenv(sched.ENV_KNOB, "wheel")
+    assert sched.backend() == "wheel"
+    assert type(EventLoop()) is TimerWheelLoop
+    monkeypatch.setenv(sched.ENV_KNOB, "banana")
+    with pytest.raises(ValueError, match="REPRO_SCHED"):
+        sched.backend()
+
+
+def test_override_nests_and_restores(monkeypatch):
+    monkeypatch.delenv(sched.ENV_KNOB, raising=False)
+    with sched.override("wheel"):
+        assert sched.wheel_enabled()
+        with sched.override("heap"):
+            assert not sched.wheel_enabled()
+        with sched.override(None):        # None = inherit, not reset
+            assert sched.wheel_enabled()
+        assert type(EventLoop()) is TimerWheelLoop
+    assert not sched.wheel_enabled()
+
+
+def test_explicit_subclasses_never_redirect():
+    """Only plain ``EventLoop()`` construction dispatches on the knob; code
+    that subclasses the heap engine keeps the heap implementation."""
+    class Derived(EventLoop):
+        pass
+
+    with sched.override("wheel"):
+        assert type(Derived()) is Derived
+        assert type(TimerWheelLoop()) is TimerWheelLoop
+
+
+# ------------------------------------------------- randomized equivalence
+def _replay(backend, ops):
+    """Run one generated scheduler program; returns its complete observable
+    behaviour (fire log with timestamps, final clock, counters)."""
+    with sched.override(backend):
+        loop = EventLoop()
+    fired = []
+    handles = []
+
+    def make_callback(op_id, nest_idx):
+        def callback():
+            fired.append((op_id, repr(loop.now)))
+            if nest_idx is not None:
+                # Nested re-schedule relative to the running clock: lands in
+                # the active bucket, a later slot, or the overflow heap.
+                loop.schedule(_TIMES[nest_idx], fired.append,
+                              (op_id, "nested", repr(loop.now)))
+        return callback
+
+    for op_id, (kind, time_idx, nested, cancel_idx) in enumerate(ops):
+        delay = _TIMES[time_idx % len(_TIMES)]
+        nest_idx = time_idx % len(_TIMES) if nested else None
+        kind %= 3
+        if kind == 0:
+            handles.append(loop.schedule(delay, make_callback(op_id, nest_idx)))
+        elif kind == 1:
+            handles.append(loop.schedule_at(delay, make_callback(op_id, nest_idx)))
+        else:
+            loop.post(delay, make_callback(op_id, nest_idx))
+        if cancel_idx is not None and handles:
+            handles[cancel_idx % len(handles)].cancel()
+    loop.run()
+    return (fired, repr(loop.now), loop.events_processed, loop.pending)
+
+
+_programs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),      # schedule/at/post
+              st.integers(min_value=0, max_value=23),      # time palette idx
+              st.booleans(),                               # nested reschedule
+              st.one_of(st.none(), st.integers(min_value=0, max_value=40))),
+    min_size=1, max_size=40)
+
+
+@SETTINGS
+@given(_programs)
+def test_wheel_matches_heap_on_random_programs(ops):
+    assert _replay("wheel", ops) == _replay("heap", ops)
+
+
+@SETTINGS
+@given(_programs, st.sampled_from(_TIMES))
+def test_wheel_matches_heap_under_partial_runs(ops, split):
+    """Running in two segments (``run(until=split)`` then ``run()``) must
+    agree between backends at the split point and at the end."""
+    def segmented(backend):
+        with sched.override(backend):
+            loop = EventLoop()
+        fired = []
+        for op_id, (kind, time_idx, _nested, _cancel) in enumerate(ops):
+            delay = _TIMES[time_idx % len(_TIMES)]
+            if kind % 2:
+                loop.schedule_at(delay, fired.append, (op_id, repr(delay)))
+            else:
+                loop.schedule(delay, fired.append, (op_id, repr(delay)))
+        loop.run(until=split)
+        mid = (list(fired), repr(loop.now), loop.pending)
+        loop.run()
+        return (mid, fired, repr(loop.now), loop.pending,
+                loop.events_processed)
+
+    assert segmented("wheel") == segmented("heap")
+
+
+# ---------------------------------------------------------- wheel mechanics
+def _wheel():
+    with sched.override("wheel"):
+        loop = EventLoop()
+    assert type(loop) is TimerWheelLoop
+    return loop
+
+
+def test_overflow_spill_and_drain():
+    loop = _wheel()
+    fired = []
+    far = _HORIZON * 3.5                      # beyond the initial horizon
+    loop.schedule(far, fired.append, "far")
+    loop.schedule(0.5, fired.append, "near")
+    assert loop.overflow_spills == 1
+    assert loop.pending == 2
+    loop.run()
+    assert fired == ["near", "far"]
+    assert loop.now == far
+    assert loop.rotations >= 1               # the cursor wrapped (or jumped)
+
+
+def test_fast_forward_skips_empty_regions():
+    """With nothing inside the horizon, the cursor jumps straight to the
+    next overflow event instead of stepping through empty slots."""
+    loop = _wheel()
+    fired = []
+    loop.schedule(1000.0, fired.append, "sparse")
+    loop.run()
+    assert fired == ["sparse"] and loop.now == 1000.0
+    # A sparse jump is not thousands of rotations.
+    assert loop.rotations < 8
+
+
+def test_cancel_in_active_bucket_and_overflow():
+    loop = _wheel()
+    fired = []
+    near = loop.schedule(0.25, fired.append, "near")
+    far = loop.schedule(_HORIZON + 1.0, fired.append, "far")
+    near.cancel()
+    far.cancel()
+    assert loop.pending == 0
+    keep = loop.schedule(0.5, fired.append, "keep")
+
+    def cancel_sibling():
+        keep2.cancel()                        # same-timestamp lazy cancel
+
+    loop.schedule(0.5, cancel_sibling)
+    keep2 = loop.schedule(0.5, fired.append, "never")
+    loop.run()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+
+
+def test_clear_inside_callback():
+    loop = _wheel()
+    fired = []
+    loop.schedule(0.1, fired.append, "first")
+    loop.schedule(0.1, loop.clear)            # wipes the rest mid-bucket
+    loop.schedule(0.1, fired.append, "gone")
+    loop.schedule(5.0, fired.append, "gone-too")
+    loop.schedule(_HORIZON + 2.0, fired.append, "gone-overflow")
+    loop.run()
+    assert fired == ["first"]
+    assert loop.pending == 0
+    # The loop is reusable after an in-callback clear.
+    loop.schedule(0.05, fired.append, "again")
+    loop.run()
+    assert fired == ["first", "again"]
+
+
+def test_step_and_max_events():
+    loop = _wheel()
+    fired = []
+    for i in range(4):
+        loop.schedule(0.1 * (i + 1), fired.append, i)
+    assert loop.step() is True
+    assert fired == [0]
+    loop.run(max_events=2)
+    assert fired == [0, 1, 2]
+    loop.run()
+    assert fired == [0, 1, 2, 3]
+    assert loop.step() is False
+
+
+def test_run_until_advances_clock_without_events():
+    loop = _wheel()
+    loop.run(until=3.25)
+    assert loop.now == 3.25
+    fired = []
+    loop.schedule(10.0, fired.append, "later")   # relative to now=3.25
+    loop.run(until=5.0)
+    assert fired == [] and loop.now == 5.0 and loop.pending == 1
+    loop.run()
+    assert fired == ["later"] and loop.now == 13.25
+
+
+def test_heap_backend_reports_zero_wheel_counters():
+    loop = EventLoop()
+    assert loop.rotations == 0 and loop.overflow_spills == 0
