@@ -26,11 +26,16 @@ from repro.fuzz.shrink import corpus_entry, save_corpus_entry, shrink_scenario
 from repro.obs.manifest import (build_manifest, provenance, run_dir,
                                 write_manifest)
 from repro.runtime.executor import SweepExecutor, SweepJob, get_executor
+from repro.runtime.faults import is_failure
 
 #: Report schema version (bump on incompatible report changes).
 #: v2: reports embed the deterministic provenance record (git SHA, code
 #: version salt, REPRO_* knob snapshot) under ``manifest``.
-REPORT_FORMAT = 2
+#: v3: fault-tolerant campaigns — scenarios whose sweep job exhausted its
+#: retry budget under the salvage policy are reported under ``failed_jobs``
+#: (with their deterministic JobFailure records) instead of aborting the
+#: campaign.
+REPORT_FORMAT = 3
 
 
 def _run_once(fuzz: FuzzScenario):
@@ -96,13 +101,25 @@ def run_campaign(budget: int, seed: int = 0,
                  check_determinism: bool = True,
                  shrink: bool = True,
                  shrink_attempts: int = 60,
-                 corpus_dir: Optional[Path] = None) -> Dict[str, Any]:
+                 corpus_dir: Optional[Path] = None,
+                 journal: Any = None,
+                 failures: Optional[str] = None) -> Dict[str, Any]:
     """Run a fuzzing campaign and return the (deterministic) report dict.
 
     Failures are grouped by ``(invariant, scenario signature)``; each group
     keeps its first (lowest scenario id) example, which is optionally
     shrunk in-process and — when ``corpus_dir`` is given — written out as a
     corpus entry ready to commit under ``tests/data/fuzz_corpus/``.
+
+    ``journal`` enables checkpoint/resume (``tools/fuzz_scenarios.py
+    --resume``): completed scenarios are journaled as they land, and a
+    re-run of the identical campaign evaluates only the missing ones (see
+    :mod:`repro.runtime.journal`).  ``failures`` selects the executor's
+    strict-vs-salvage policy; under ``"salvage"`` a scenario whose sweep
+    job exhausted its retries is reported under ``failed_jobs`` (with its
+    deterministic :class:`~repro.runtime.faults.JobFailure` record) instead
+    of aborting the campaign.  Both default to the executor's own
+    configuration / environment knobs.
     """
     generator = ScenarioGen(seed)
     scenarios = generator.sample_many(budget)
@@ -111,14 +128,19 @@ def run_campaign(budget: int, seed: int = 0,
                                    "check_determinism": check_determinism},
                            label=f"fuzz-{seed}-{fuzz.scenario_id}")
                   for fuzz in scenarios]
-    runner = get_executor(executor, jobs=jobs)
-    verdicts = runner.run(sweep_jobs)
+    runner = get_executor(executor, jobs=jobs, journal=journal)
+    verdicts = runner.run(sweep_jobs, failure_policy=failures)
 
     # Group violations by failure mode; keep the first example of each.
+    # Salvaged JobFailure sentinels (fault-tolerant campaigns) are split out
+    # into the deterministic ``failed_jobs`` section first.
+    failed_jobs = [
+        {"scenario_id": fuzz.scenario_id, "failure": verdict.to_jsonable()}
+        for fuzz, verdict in zip(scenarios, verdicts) if is_failure(verdict)]
     groups: Dict[tuple, Dict[str, Any]] = {}
     violating_scenarios = 0
     for fuzz, verdict in zip(scenarios, verdicts):
-        if not verdict["violations"]:
+        if is_failure(verdict) or not verdict["violations"]:
             continue
         violating_scenarios += 1
         for invariant, message in verdict["violations"]:
@@ -133,8 +155,8 @@ def run_campaign(budget: int, seed: int = 0,
             })
             group["count"] += 1
 
-    failures = [groups[key] for key in sorted(groups)]
-    for group in failures:
+    failure_groups = [groups[key] for key in sorted(groups)]
+    for group in failure_groups:
         example = FuzzScenario.from_jsonable(group["example_scenario"])
         if shrink:
             minimized = shrink_scenario(
@@ -162,8 +184,9 @@ def run_campaign(budget: int, seed: int = 0,
         "invariants": list(INVARIANT_NAMES),
         "scenarios_run": len(scenarios),
         "violating_scenarios": violating_scenarios,
-        "failure_groups": failures,
-        "clean": not failures,
+        "failure_groups": failure_groups,
+        "failed_jobs": failed_jobs,
+        "clean": not failure_groups and not failed_jobs,
         # Deterministic provenance only (no timestamps/timings): the report
         # itself must stay byte-identical for a given (seed, budget).
         "manifest": provenance(),

@@ -87,9 +87,24 @@ def _percentiles(values: Sequence[float],
 
 
 def aggregate_city(cell_results: Sequence[Mapping]) -> Dict[str, object]:
-    """Roll a list of per-cell result dicts up into city-wide aggregates."""
+    """Roll a list of per-cell result dicts up into city-wide aggregates.
+
+    A salvaged metro sweep (executor ``failure_policy="salvage"``) may hand
+    this :class:`~repro.runtime.faults.JobFailure` sentinels in failed cells'
+    slots; they are excluded from every aggregate and surfaced as
+    ``failed_cells`` so the roll-up degrades gracefully — 199 good cells
+    beat zero — without silently pretending the city was complete.
+    """
+    from repro.runtime.faults import is_failure
+
+    cell_results = list(cell_results)
+    failed_cells = sum(1 for r in cell_results if is_failure(r))
+    if failed_cells:
+        cell_results = [r for r in cell_results if not is_failure(r)]
     if not cell_results:
-        raise ValueError("aggregate_city needs at least one cell result")
+        raise ValueError("aggregate_city needs at least one cell result"
+                         + (f" ({failed_cells} failed cell(s) excluded)"
+                            if failed_cells else ""))
     utilization = {r["cell"]: r["utilization"] for r in cell_results}
     util_values = np.asarray(list(utilization.values()), dtype=float)
     base_tputs: List[float] = []
@@ -104,7 +119,7 @@ def aggregate_city(cell_results: Sequence[Mapping]) -> Dict[str, object]:
         offered += r["offered_flows"]
         completed += r["completed_flows"]
         drops += r["drops"]
-    return {
+    aggregates: Dict[str, object] = {
         "cells": len(cell_results),
         "per_cell_utilization": utilization,
         "utilization_mean": float(util_values.mean()),
@@ -121,3 +136,8 @@ def aggregate_city(cell_results: Sequence[Mapping]) -> Dict[str, object]:
         "completed_flows": completed,
         "drops": drops,
     }
+    if failed_cells:
+        # Only present on salvaged sweeps, so complete runs keep their
+        # golden-pinned layout byte for byte.
+        aggregates["failed_cells"] = failed_cells
+    return aggregates

@@ -96,9 +96,15 @@ def provenance() -> Dict[str, Any]:
 
 
 def executor_record(executor: Any) -> Dict[str, Any]:
-    """JSON-able view of an executor's last run (stats + per-job timings)."""
+    """JSON-able view of an executor's last run (stats + per-job timings).
+
+    Resilient runs (timeouts/retries/fault injection) add their bookkeeping:
+    retry/timeout/crash counters plus the full per-job failure histories, so
+    a manifest answers *which cells were retried and why* months later and
+    ``tools/export_trace.py`` can render retried attempts as separate spans.
+    """
     stats = executor.last_stats
-    return {
+    record = {
         "total": stats.total,
         "cache_hits": stats.cache_hits,
         "cache_corrupt": stats.cache_corrupt,
@@ -108,6 +114,15 @@ def executor_record(executor: Any) -> Dict[str, Any]:
         "pool_reused": stats.pool_reused,
         "jobs": list(stats.job_records),
     }
+    for name in ("retries", "timeouts", "worker_crashes", "failed_jobs",
+                 "cache_write_errors", "journal_hits"):
+        value = getattr(stats, name, 0)
+        if value:
+            record[name] = value
+    failures = getattr(stats, "failures", None)
+    if failures:
+        record["failures"] = list(failures)
+    return record
 
 
 def build_manifest(kind: str, *, spec: Optional[Dict[str, Any]] = None,

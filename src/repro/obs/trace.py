@@ -122,28 +122,50 @@ def sweep_trace_events(job_records: List[Dict[str, Any]]
     Each record needs ``label``, ``pid``, ``start_unix`` and ``wall_seconds``
     (what :class:`~repro.runtime.executor.SweepExecutor` collects when
     observing); timestamps are re-based to the earliest job start.
+
+    Resilient runs tag records with ``attempt``/``outcome``; each retried
+    attempt renders as its own span (``label [attempt N]``) in a distinct
+    category per outcome (``retry``/``timeout``/``worker_crash``), so a
+    chaos run's timeline shows exactly which cells were retried, where, and
+    why.  Records whose worker pid was never learned (a crash before the
+    attempt announced itself) land on a dedicated ``unattributed`` row.
     """
     records = [r for r in job_records if r.get("start_unix") is not None]
     if not records:
         return []
     base = min(r["start_unix"] for r in records)
-    pids = sorted({r["pid"] for r in records})
-    tid_of = {pid: index + 1 for index, pid in enumerate(pids)}
+    pids = sorted({r["pid"] for r in records if r.get("pid") is not None})
+    tid_of: Dict[Any, int] = {pid: index + 1
+                              for index, pid in enumerate(pids)}
+    names = {tid: f"worker pid {pid}" for pid, tid in tid_of.items()}
+    if any(r.get("pid") is None for r in records):
+        tid_of[None] = len(tid_of) + 1
+        names[tid_of[None]] = "unattributed"
     events: List[Dict[str, Any]] = []
     for record in records:
+        attempt = record.get("attempt")
+        outcome = record.get("outcome")
+        name = record.get("label") or "job"
+        if attempt is not None and (attempt > 1 or outcome not in (None, "ok")):
+            name = f"{name} [attempt {attempt}]"
+        if outcome in ("timeout", "worker_crash"):
+            cat = outcome
+        elif outcome not in (None, "ok") or (attempt or 1) > 1:
+            cat = "retry"
+        else:
+            cat = "sweep"
         events.append({
-            "name": record.get("label") or "job",
-            "cat": "sweep",
+            "name": name,
+            "cat": cat,
             "ph": "X",
             "ts": (record["start_unix"] - base) * 1e6,
             "dur": max(record["wall_seconds"] * 1e6, 0.01),
             "pid": 1,
-            "tid": tid_of[record["pid"]],
+            "tid": tid_of[record.get("pid")],
             "args": {k: v for k, v in record.items()
                      if k not in ("label", "pid", "start_unix")},
         })
-    events.extend(_thread_names(
-        1, {tid: f"worker pid {pid}" for pid, tid in tid_of.items()}))
+    events.extend(_thread_names(1, names))
     return events
 
 

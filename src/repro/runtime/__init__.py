@@ -31,21 +31,45 @@ pool, or replayed from the cache.
 
 from repro.runtime.cache import (CACHE_DIR_ENV, CODE_VERSION_SALT, ResultCache,
                                  effective_salt, stable_hash)
-from repro.runtime.executor import (JOBS_ENV, SEEDS_ENV, ExecutorStats,
-                                    SweepExecutor, SweepJob, get_executor,
-                                    resolve_seeds, resolve_worker_count)
+from repro.runtime.executor import (BACKOFF_ENV, FAILURE_POLICY_ENV, JOBS_ENV,
+                                    RETRIES_ENV, SEEDS_ENV, TIMEOUT_ENV,
+                                    ExecutorStats, SweepExecutor, SweepJob,
+                                    get_executor, resolve_failure_policy,
+                                    resolve_job_retries, resolve_job_timeout,
+                                    resolve_retry_backoff, resolve_seeds,
+                                    resolve_worker_count)
+from repro.runtime.faults import (FAULT_KINDS, FAULTS_ENV, FaultInjectionError,
+                                  FaultInjector, FaultSpec, JobAttempt,
+                                  JobFailure, JobFailureError, is_failure,
+                                  resolve_fault_spec, retry_backoff)
+from repro.runtime.journal import (JOURNAL_ENV, RunJournal,
+                                   resolve_journal_dir, run_key_for)
 from repro.runtime.spec import (SweepCell, SweepSpec, strip_result, sweep_cell,
                                 validate_schemes)
 from repro.runtime.trace_store import (TraceRef, clear_trace_store, get_trace,
                                        register_trace, resolve_link_spec)
 
 __all__ = [
+    "BACKOFF_ENV",
     "CACHE_DIR_ENV",
     "CODE_VERSION_SALT",
+    "FAILURE_POLICY_ENV",
+    "FAULTS_ENV",
+    "FAULT_KINDS",
     "JOBS_ENV",
+    "JOURNAL_ENV",
+    "RETRIES_ENV",
     "SEEDS_ENV",
+    "TIMEOUT_ENV",
     "ExecutorStats",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultSpec",
+    "JobAttempt",
+    "JobFailure",
+    "JobFailureError",
     "ResultCache",
+    "RunJournal",
     "SweepCell",
     "SweepExecutor",
     "SweepJob",
@@ -55,10 +79,19 @@ __all__ = [
     "effective_salt",
     "get_executor",
     "get_trace",
+    "is_failure",
     "register_trace",
+    "resolve_failure_policy",
+    "resolve_fault_spec",
+    "resolve_job_retries",
+    "resolve_job_timeout",
+    "resolve_journal_dir",
     "resolve_link_spec",
+    "resolve_retry_backoff",
     "resolve_seeds",
     "resolve_worker_count",
+    "retry_backoff",
+    "run_key_for",
     "stable_hash",
     "strip_result",
     "sweep_cell",

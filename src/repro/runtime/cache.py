@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Optional, Tuple
@@ -146,6 +147,10 @@ class ResultCache:
         self.stores = 0
         self.corrupt = 0
         self.evictions = 0
+        self.write_errors = 0
+        #: Optional FaultInjector (set by the executor when REPRO_FAULTS
+        #: includes cache_write_fail) — put() consults it to inject OSErrors.
+        self.fault_injector = None
         # Size cap (REPRO_CACHE_MAX_MB, read once at construction like the
         # other runtime knobs); None/0 = unbounded.
         if max_mb is None:
@@ -170,6 +175,7 @@ class ResultCache:
         self._obs_stores = obs_metrics.counter("cache.writes")
         self._obs_corrupt = obs_metrics.counter("cache.corrupt")
         self._obs_evictions = obs_metrics.counter("cache.evictions")
+        self._obs_write_errors = obs_metrics.counter("cache.write_errors")
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -203,20 +209,40 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically (tempfile + rename)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        """Store ``value`` under ``key`` atomically (tempfile + rename).
+
+        A failed write (disk full, ``EACCES``, read-only directory) degrades
+        to a warning + future miss — a sweep must never lose its computed
+        results to cache-tier storage trouble.  Failures are counted in
+        ``write_errors`` (surfaced as ``cache_write_errors`` in
+        :class:`~repro.runtime.executor.ExecutorStats`).
+        """
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+            if (self.fault_injector is not None
+                    and self.fault_injector.should("cache_write_fail",
+                                                   key, 1)):
+                raise OSError("injected cache_write_fail")
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.write_errors += 1
+            self._obs_write_errors.inc()
+            print(f"warning: result cache write failed for {key[:12]}… "
+                  f"({exc}); continuing without caching this cell",
+                  file=sys.stderr)
+            return
         self.stores += 1
         self._obs_stores.inc()
         if self._max_bytes is not None:

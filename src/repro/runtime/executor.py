@@ -14,7 +14,8 @@ Results are returned in job-submission order and each job runs in its own
 simulator instance with explicit seeds, so the returned metrics are
 bit-for-bit identical whether a sweep runs serially, in parallel, on a
 reused pool, or is replayed from the cache.
-``tests/test_runtime_executor.py`` enforces this.
+``tests/test_runtime_executor.py`` enforces this; with fault injection
+active, ``tests/test_runtime_faults.py`` extends it to the failure records.
 
 Worker selection
 ----------------
@@ -39,21 +40,60 @@ Workers are primed with the shared trace store
 tiny :class:`~repro.runtime.trace_store.TraceRef` handles instead of pickling
 every trace into every cell.  If new traces are registered after the pool
 started, the next ``run()`` transparently restarts it with a fresh snapshot.
+
+Fault tolerance
+---------------
+A wedged cell, a crashed worker or a mid-run ``KeyboardInterrupt`` must not
+lose a whole sweep.  Four knobs, all construction-time like the others:
+
+* ``REPRO_JOB_TIMEOUT`` / ``timeout=`` — per-job wall-clock deadline; a
+  job attempt that exceeds it is abandoned and its (possibly wedged) worker
+  is killed, letting the pool respawn a fresh one.
+* ``REPRO_JOB_RETRIES`` / ``retries=`` — failed attempts (exception, crash
+  or timeout) are retried up to this many times with seeded exponential
+  backoff + jitter (``REPRO_RETRY_BACKOFF`` base seconds), so the schedule
+  itself is part of the reproducible record.
+* ``REPRO_FAULTS`` / ``faults=`` — deterministic chaos injection (see
+  :mod:`repro.runtime.faults`): same spec + seed ⇒ the same faults hit the
+  same cells, byte-reproducibly, serial or parallel.
+* ``failure_policy=`` (``"strict"`` default, or ``"salvage"``; also
+  ``REPRO_FAILURE_POLICY``) — after retries are exhausted, ``strict``
+  re-raises the original exception (or a
+  :class:`~repro.runtime.faults.JobFailureError`), while ``salvage``
+  returns a picklable :class:`~repro.runtime.faults.JobFailure` sentinel
+  *in the failed cell's slot* so the other 199 cells of a metro sweep
+  survive with an explicit failure record.
+
+Worker crashes are detected by pid liveness (workers announce each attempt
+through a start queue), crashed/expired attempts are resubmitted, and the
+pool's automatic respawn keeps the worker count constant.  Completed cells
+can additionally be journaled for checkpoint/resume — see
+:mod:`repro.runtime.journal`.  ``KeyboardInterrupt`` tears the pool down in
+a ``finally`` path instead of orphaning workers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import pickle
+import signal
 import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs.progress import ProgressTracker, resolve_progress
 from repro.runtime.cache import (CACHE_DIR_ENV, ResultCache, effective_salt,
                                  stable_hash)
+from repro.runtime.faults import (FaultInjector, FaultSpec, JobAttempt,
+                                  JobFailure, JobFailureError, crash_attempt,
+                                  resolve_fault_spec, retry_backoff,
+                                  timeout_attempt)
+from repro.runtime.journal import RunJournal, resolve_journal_dir, run_key_for
 from repro.runtime.trace_store import (TraceRef, install_snapshot,
                                        snapshot_for)
 
@@ -63,6 +103,39 @@ JOBS_ENV = "REPRO_JOBS"
 #: Environment variable selecting the default seed list for multi-seed
 #: sweeps: comma- or space-separated integers (``REPRO_SEEDS="1,2,3"``).
 SEEDS_ENV = "REPRO_SEEDS"
+
+#: Environment variable: per-job wall-clock timeout in seconds (unset/0 =
+#: no deadline).  Parallel runs enforce it preemptively (the wedged worker
+#: is killed and respawned); serial runs cannot preempt a running job, so
+#: there it only applies to injected hangs.
+TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Environment variable: how many times a failed job attempt is retried
+#: (default 0 — fail on the first exhausted attempt, the legacy behavior).
+RETRIES_ENV = "REPRO_JOB_RETRIES"
+
+#: Environment variable: base seconds for the seeded exponential retry
+#: backoff (default 0.05; 0 disables the delay but keeps the retries).
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+#: Environment variable selecting the failure policy: ``strict`` (raise on
+#: the first exhausted job) or ``salvage`` (return JobFailure sentinels
+#: in-slot and keep the rest of the sweep).
+FAILURE_POLICY_ENV = "REPRO_FAILURE_POLICY"
+
+#: Parent-side poll interval while supervising resilient parallel runs.
+_POLL_SECONDS = 0.01
+
+#: How long a dead-pid / expired-deadline attempt stays *condemned* before
+#: it is finalised as a crash/timeout.  A worker writes an attempt's result
+#: to the pool's outqueue pipe *before* it picks up its next task, so it can
+#: die on task N+1 while task N's bytes are still waiting for the parent's
+#: result-handler thread.  Finalising on the first dead-pid sighting would
+#: misread that finished attempt as crashed (dropping its real result and
+#: breaking serial ≡ parallel determinism); the grace window lets any
+#: already-piped result win the race.  A genuinely lost attempt can never
+#: deliver, so the delay costs latency only, never correctness.
+_LATE_RESULT_GRACE_SECONDS = 1.0
 
 
 def resolve_worker_count(jobs: Optional[int | str] = None) -> int:
@@ -115,6 +188,83 @@ def resolve_seeds(seeds: Union[int, Sequence[int], None] = None
     if not parsed:
         raise ValueError(f"{SEEDS_ENV} must name at least one seed")
     return parsed
+
+
+def resolve_job_timeout(timeout: Union[int, float, str, None] = None
+                        ) -> Optional[float]:
+    """Per-job deadline in seconds from the API arg or ``REPRO_JOB_TIMEOUT``.
+
+    ``None``/unset/``0`` means no deadline.
+    """
+    value: Any = timeout if timeout is not None \
+        else os.environ.get(TIMEOUT_ENV, "")
+    if isinstance(value, str):
+        value = value.strip()
+        if not value:
+            return None
+        try:
+            value = float(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{TIMEOUT_ENV} must be a number of seconds, got "
+                f"{value!r}") from exc
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"job timeout must be >= 0, got {value}")
+    return value if value > 0 else None
+
+
+def resolve_job_retries(retries: Union[int, str, None] = None) -> int:
+    """Retry budget per job from the API arg or ``REPRO_JOB_RETRIES``."""
+    value: Any = retries if retries is not None \
+        else os.environ.get(RETRIES_ENV, "")
+    if isinstance(value, str):
+        value = value.strip()
+        if not value:
+            return 0
+        try:
+            value = int(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{RETRIES_ENV} must be an integer, got {value!r}") from exc
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"job retries must be >= 0, got {value}")
+    return value
+
+
+def resolve_retry_backoff(backoff: Union[int, float, str, None] = None
+                          ) -> float:
+    """Backoff base seconds from the API arg or ``REPRO_RETRY_BACKOFF``."""
+    value: Any = backoff if backoff is not None \
+        else os.environ.get(BACKOFF_ENV, "")
+    if isinstance(value, str):
+        value = value.strip()
+        if not value:
+            return 0.05
+        try:
+            value = float(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{BACKOFF_ENV} must be a number of seconds, got "
+                f"{value!r}") from exc
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"retry backoff must be >= 0, got {value}")
+    return value
+
+
+def resolve_failure_policy(policy: Optional[str] = None) -> str:
+    """``strict`` or ``salvage`` from the API arg or the environment."""
+    value = policy if policy is not None \
+        else os.environ.get(FAILURE_POLICY_ENV, "").strip().lower()
+    if not value:
+        return "strict"
+    value = str(value).strip().lower()
+    if value not in ("strict", "salvage"):
+        raise ValueError(
+            f"failure policy must be 'strict' or 'salvage', got {value!r}")
+    return value
 
 
 @dataclass
@@ -173,6 +323,85 @@ def _execute_job_observed(payload: Tuple[SweepJob, float]
     return value, meta, snapshot
 
 
+#: Worker-side handle on the executor's start queue (set by the pool
+#: initializer); resilient attempts announce (run id, slot, attempt, pid)
+#: through it so the parent can arm deadlines and attribute worker deaths.
+_START_QUEUE = None
+
+
+def _pool_init(trace_snapshot: Dict[str, Any], start_queue=None) -> None:
+    """Pool initializer: prime the trace store and keep the start queue."""
+    global _START_QUEUE
+    install_snapshot(trace_snapshot)
+    _START_QUEUE = start_queue
+
+
+def _attempt_outcome(job: SweepJob, job_key: str, attempt: int,
+                     fault_spec: Optional[FaultSpec]) -> Dict[str, Any]:
+    """Run one guarded attempt body; never raises.
+
+    Shared verbatim by the serial driver and pool workers so an error's
+    captured traceback is byte-identical across execution modes (same
+    frames, same files, same lines).  Injected ``job_error`` faults fire
+    inside the ``try`` for the same reason.
+    """
+    try:
+        if fault_spec is not None:
+            FaultInjector(fault_spec).maybe_error(job_key, attempt)
+        value = job.run()
+    except Exception as exc:
+        from repro.runtime.faults import FaultInjectionError
+        tb = "".join(traceback.format_exception(type(exc), exc,
+                                                exc.__traceback__))
+        return {"ok": False, "outcome": "error",
+                "error_type": type(exc).__qualname__, "error": str(exc),
+                "traceback": tb, "exception": exc,
+                "injected": isinstance(exc, FaultInjectionError)}
+    return {"ok": True, "value": value}
+
+
+def _resilient_attempt(payload: tuple) -> tuple:
+    """Worker-side trampoline for supervised (resilient) attempts.
+
+    Announces itself on the start queue first — the parent arms the job's
+    deadline and learns which pid to blame if this process dies — then fires
+    any injected process faults (crash/hang) and runs the guarded attempt.
+    """
+    run_id, slot, attempt, job, job_key, fault_spec, submitted_unix = payload
+    queue = _START_QUEUE
+    if queue is not None:
+        queue.put((run_id, slot, attempt, os.getpid()))
+    if fault_spec is not None:
+        FaultInjector(fault_spec).fire_process_faults(job_key, attempt)
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    outcome = _attempt_outcome(job, job_key, attempt, fault_spec)
+    wall = time.perf_counter() - t0
+    if not outcome["ok"] and outcome.get("exception") is not None:
+        # The original exception rides home for strict-mode re-raising, but
+        # only when it survives pickling — a poison result would kill the
+        # whole drain loop otherwise.
+        try:
+            pickle.dumps(outcome["exception"])
+        except Exception:
+            outcome["exception"] = None
+    meta = {
+        "label": job.label,
+        "pid": os.getpid(),
+        "start_unix": start_unix,
+        "wall_seconds": wall,
+        "queue_wait_seconds": max(start_unix - submitted_unix, 0.0),
+        "attempt": attempt,
+        "outcome": "ok" if outcome["ok"] else "error",
+    }
+    snapshot = None
+    if obs_metrics.enabled():
+        registry = obs_metrics.registry()
+        snapshot = registry.snapshot()
+        registry.reset()
+    return slot, attempt, outcome, meta, snapshot
+
+
 def _needed_trace_keys(jobs: Sequence[SweepJob]) -> set:
     """Content keys of every :class:`TraceRef` the jobs' kwargs reference."""
     keys = set()
@@ -198,13 +427,34 @@ class ExecutorStats:
     #: Entries evicted by the REPRO_CACHE_MAX_MB size cap while this run's
     #: results were being stored (mtime-LRU, see repro.runtime.cache).
     cache_evictions: int = 0
+    #: Cache writes that failed with an OSError (disk full, read-only dir)
+    #: and were degraded to a warning + miss instead of crashing the sweep.
+    cache_write_errors: int = 0
     executed: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
     pool_reused: bool = False
-    #: Per-executed-job timing records (label, worker pid, start, wall time,
-    #: queue wait) — populated only on observed runs (telemetry on,
-    #: ``REPRO_RUN_DIR`` set, or a progress callback active); empty otherwise.
+    #: Attempts re-submitted after an error/crash/timeout (each retry of
+    #: each job counts once).
+    retries: int = 0
+    #: Attempts abandoned at the REPRO_JOB_TIMEOUT deadline (their wedged
+    #: workers are killed and respawned).
+    timeouts: int = 0
+    #: Worker processes that died mid-attempt (injected or real); the pool
+    #: respawns them and the in-flight attempt is resubmitted or failed.
+    worker_crashes: int = 0
+    #: Jobs whose retry budget was exhausted; under the salvage policy each
+    #: occupies its result slot as a JobFailure sentinel.
+    failed_jobs: int = 0
+    #: Cells served from a resume journal's *private* store (cache-less
+    #: runs; journaled cells served by the result cache count as cache_hits).
+    journal_hits: int = 0
+    #: JSON-able JobFailure records, in slot order (salvage and strict both
+    #: populate this before any strict-mode raise).
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-executed-attempt timing records (label, worker pid, start, wall
+    #: time, queue wait; resilient runs add attempt/outcome) — populated on
+    #: observed and resilient runs; empty otherwise.
     job_records: List[Dict[str, Any]] = field(default_factory=list)
 
 
@@ -228,6 +478,22 @@ class SweepExecutor:
         ``False`` forces progress off, and any callable receives a
         :class:`~repro.obs.progress.SweepProgress` after every completed
         cell.
+    timeout, retries, backoff:
+        Fault-tolerance knobs; ``None`` defers to ``REPRO_JOB_TIMEOUT`` /
+        ``REPRO_JOB_RETRIES`` / ``REPRO_RETRY_BACKOFF``.
+    faults:
+        Deterministic chaos spec (:class:`~repro.runtime.faults.FaultSpec`,
+        a spec string, or ``False`` to force off); ``None`` defers to
+        ``REPRO_FAULTS``.
+    failure_policy:
+        ``"strict"`` (default: raise after retries are exhausted) or
+        ``"salvage"`` (return JobFailure sentinels in-slot); ``None`` defers
+        to ``REPRO_FAILURE_POLICY``.
+    journal:
+        Checkpoint/resume journal: a directory, ``True`` (use
+        ``REPRO_JOURNAL``/``REPRO_RUN_DIR``), ``False`` (force off), or
+        ``None`` (defer to ``REPRO_JOURNAL``).  See
+        :mod:`repro.runtime.journal`.
 
     Used as a plain object, every :meth:`run` call manages its own
     short-lived pool.  Used as a context manager (``with SweepExecutor(...)
@@ -238,7 +504,13 @@ class SweepExecutor:
     def __init__(self, jobs: Optional[int | str] = None,
                  cache_dir: Optional[os.PathLike | str] = None,
                  salt: Optional[str] = None,
-                 progress: Union[None, bool, Callable] = None):
+                 progress: Union[None, bool, Callable] = None,
+                 timeout: Union[int, float, str, None] = None,
+                 retries: Union[int, str, None] = None,
+                 backoff: Union[int, float, str, None] = None,
+                 faults: Any = None,
+                 failure_policy: Optional[str] = None,
+                 journal: Any = None):
         self.workers = resolve_worker_count(jobs)
         self.progress = progress
         if cache_dir is None:
@@ -246,10 +518,31 @@ class SweepExecutor:
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir is not None else None)
         self.salt = effective_salt(salt)
+        self.timeout = resolve_job_timeout(timeout)
+        self.retries = resolve_job_retries(retries)
+        self.backoff = resolve_retry_backoff(backoff)
+        self.faults: Optional[FaultSpec] = resolve_fault_spec(faults)
+        self.failure_policy = resolve_failure_policy(failure_policy)
+        self.journal_dir = resolve_journal_dir(journal)
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(self.faults) if self.faults is not None else None)
+        if (self._injector is not None
+                and self.faults.rate("job_hang") > 0.0
+                and self.timeout is None):
+            raise ValueError(
+                "REPRO_FAULTS injects job_hang but no job timeout is set — "
+                "an injected hang would wedge the sweep forever; set "
+                "REPRO_JOB_TIMEOUT (or timeout=)")
+        if self.cache is not None and self._injector is not None:
+            # cache_write_fail faults fire inside ResultCache.put, which
+            # degrades them to a warning + miss like any real OSError.
+            self.cache.fault_injector = self._injector
         self.last_stats = ExecutorStats()
         self._persistent = False
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_trace_keys: set = set()
+        self._start_queue = None
+        self._run_counter = 0
 
     # ------------------------------------------------------------ pool reuse
     def open(self) -> "SweepExecutor":
@@ -277,6 +570,12 @@ class SweepExecutor:
         self.close()
         self._persistent = False
 
+    def _get_start_queue(self):
+        """The executor-lifetime start queue (survives pool restarts)."""
+        if self._start_queue is None:
+            self._start_queue = multiprocessing.SimpleQueue()
+        return self._start_queue
+
     def _ensure_pool(self, needed_keys: set) -> multiprocessing.pool.Pool:
         """The persistent pool, restarted only when it is missing a trace.
 
@@ -292,72 +591,158 @@ class SweepExecutor:
         if self._pool is None:
             snapshot = snapshot_for(needed_keys)
             self._pool = multiprocessing.Pool(
-                processes=self.workers, initializer=install_snapshot,
-                initargs=(snapshot,))
+                processes=self.workers, initializer=_pool_init,
+                initargs=(snapshot, self._get_start_queue()))
             self._pool_trace_keys = set(snapshot)
         return self._pool
 
+    def _abort_pool(self) -> None:
+        """Emergency teardown: terminate + join the persistent pool.
+
+        Called when a run is aborted (``KeyboardInterrupt``/``SystemExit``)
+        so no orphaned workers outlive the interrupted sweep; one-shot pools
+        terminate through their own ``with`` blocks.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_trace_keys = set()
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
     # ------------------------------------------------------------------ run
-    def run(self, jobs: Sequence[SweepJob]) -> List[Any]:
+    def run(self, jobs: Sequence[SweepJob],
+            failure_policy: Optional[str] = None) -> List[Any]:
         """Execute every job, returning results in submission order.
 
-        Cached cells are served without executing; the remainder run either
-        in-process (one worker) or on a ``multiprocessing`` pool.  With
-        telemetry on, a progress reporter active, or ``REPRO_RUN_DIR`` set,
-        the run is *observed*: per-job timing records are collected (and
-        worker metrics merged back) without changing any result — results
-        stay bit-identical either way.
+        Cached (or journaled) cells are served without executing; the
+        remainder run either in-process (one worker) or on a
+        ``multiprocessing`` pool.  With telemetry on, a progress reporter
+        active, or ``REPRO_RUN_DIR`` set, the run is *observed*: per-job
+        timing records are collected (and worker metrics merged back)
+        without changing any result — results stay bit-identical either way.
+
+        With a timeout, retries, fault injection or a journal configured the
+        run is *supervised*: attempts are tracked individually, failures are
+        retried with seeded backoff, and exhausted jobs either raise
+        (``strict``) or come back as in-slot
+        :class:`~repro.runtime.faults.JobFailure` sentinels (``salvage``).
+        ``failure_policy`` overrides the executor-level policy for this run.
         """
         jobs = list(jobs)
+        policy = (resolve_failure_policy(failure_policy)
+                  if failure_policy is not None else self.failure_policy)
         started = time.perf_counter()
         results: List[Any] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
-        pending: List[int] = []
+        resilient = (self._injector is not None or self.timeout is not None
+                     or self.retries > 0 or self.journal_dir is not None
+                     or policy == "salvage")
+        need_keys = self.cache is not None or resilient
         hits = 0
+        journal_hits = 0
         corrupt_before = self.cache.corrupt if self.cache is not None else 0
         evictions_before = self.cache.evictions if self.cache is not None else 0
+        writefail_before = (self.cache.write_errors
+                            if self.cache is not None else 0)
+        if need_keys:
+            for index, job in enumerate(jobs):
+                keys[index] = job.cache_key(self.salt)
+        journal: Optional[RunJournal] = None
+        if self.journal_dir is not None and jobs:
+            journal = RunJournal(self.journal_dir, run_key_for(keys),
+                                 store=self.cache)
+            journal.load()
+        pending: List[int] = []
         for index, job in enumerate(jobs):
             if self.cache is not None:
-                keys[index] = job.cache_key(self.salt)
                 hit, value = self.cache.get(keys[index])
                 if hit:
                     results[index] = value
                     hits += 1
+                    if journal is not None:
+                        journal.record(keys[index], job.label)
+                    continue
+            if journal is not None and journal.owns_store:
+                hit, value = journal.lookup(keys[index])
+                if hit:
+                    results[index] = value
+                    journal_hits += 1
                     continue
             pending.append(index)
 
         callback = resolve_progress(self.progress)
         observing = (callback is not None or obs_metrics.enabled()
                      or obs_manifest.run_dir() is not None)
-        tracker = (ProgressTracker(len(jobs), hits, callback)
+        tracker = (ProgressTracker(len(jobs), hits + journal_hits, callback)
                    if callback is not None else None)
 
         reused = False
         job_records: List[Dict[str, Any]] = []
-        if pending:
-            pending_jobs = [jobs[i] for i in pending]
-            if observing:
-                outputs, reused, job_records = self._execute_observed(
-                    pending_jobs, tracker)
-            else:
-                outputs, reused = self._execute(pending_jobs)
-            for index, value in zip(pending, outputs):
-                results[index] = value
-                if self.cache is not None:
-                    self.cache.put(keys[index], value)
+        counts = {"retries": 0, "timeouts": 0, "worker_crashes": 0}
+        failures: Dict[int, JobFailure] = {}
+        failure_excs: Dict[int, BaseException] = {}
+
+        def commit(index: int, value: Any) -> None:
+            """Land one completed cell: result slot, cache, journal."""
+            results[index] = value
+            if self.cache is not None:
+                self.cache.put(keys[index], value)
+            if journal is not None:
+                journal.record(keys[index], jobs[index].label, value,
+                               store_value=journal.owns_store)
+
+        try:
+            if pending:
+                if resilient:
+                    reused = self._execute_resilient(
+                        pending, jobs, keys, tracker, commit, counts,
+                        failures, failure_excs, job_records, results)
+                elif observing:
+                    outputs, reused, job_records = self._execute_observed(
+                        [jobs[i] for i in pending], tracker)
+                    for index, value in zip(pending, outputs):
+                        commit(index, value)
+                else:
+                    outputs, reused = self._execute([jobs[i] for i in pending])
+                    for index, value in zip(pending, outputs):
+                        commit(index, value)
+        except (KeyboardInterrupt, SystemExit):
+            # Never orphan pool workers on an interrupted sweep: tear the
+            # persistent pool down (one-shot pools terminate via their own
+            # context managers) before letting the interrupt propagate.
+            # Everything committed so far is already cached/journaled, so a
+            # rerun resumes instead of restarting.
+            self._abort_pool()
+            raise
+        finally:
+            if journal is not None:
+                journal.close()
 
         corrupt = ((self.cache.corrupt - corrupt_before)
                    if self.cache is not None else 0)
         evictions = ((self.cache.evictions - evictions_before)
                      if self.cache is not None else 0)
+        write_errors = ((self.cache.write_errors - writefail_before)
+                        if self.cache is not None else 0)
         self.last_stats = ExecutorStats(
             total=len(jobs), cache_hits=hits, cache_corrupt=corrupt,
-            cache_evictions=evictions,
+            cache_evictions=evictions, cache_write_errors=write_errors,
             executed=len(pending), workers=self.workers,
             wall_seconds=time.perf_counter() - started,
-            pool_reused=reused, job_records=job_records)
+            pool_reused=reused,
+            retries=counts["retries"], timeouts=counts["timeouts"],
+            worker_crashes=counts["worker_crashes"],
+            failed_jobs=len(failures), journal_hits=journal_hits,
+            failures=[failures[i].to_jsonable() for i in sorted(failures)],
+            job_records=job_records)
         if obs_metrics.enabled():
             self._publish_run_metrics(job_records, reused)
+        if failures and policy == "strict":
+            first = min(failures)
+            original = failure_excs.get(first)
+            if original is not None:
+                raise original
+            raise JobFailureError(failures[first])
         return results
 
     def _publish_run_metrics(self, job_records: List[Dict[str, Any]],
@@ -368,6 +753,12 @@ class SweepExecutor:
         if reused:
             registry.counter("executor.pool_reuses").inc()
         registry.gauge("executor.workers").set(self.workers)
+        stats = self.last_stats
+        for name in ("retries", "timeouts", "worker_crashes", "failed_jobs",
+                     "journal_hits", "cache_write_errors"):
+            value = getattr(stats, name)
+            if value:
+                registry.counter(f"executor.{name}").inc(value)
         wall = registry.timer("executor.job_wall")
         wait = registry.timer("executor.queue_wait")
         for record in job_records:
@@ -387,8 +778,8 @@ class SweepExecutor:
         # One-shot pool: ship only the traces these jobs actually reference.
         processes = min(self.workers, len(jobs))
         with multiprocessing.Pool(processes=processes,
-                                  initializer=install_snapshot,
-                                  initargs=(snapshot_for(needed),)) as pool:
+                                  initializer=_pool_init,
+                                  initargs=(snapshot_for(needed), None)) as pool:
             return pool.map(_execute_job, jobs, chunksize=1), False
 
     def _execute_observed(
@@ -428,8 +819,8 @@ class SweepExecutor:
             return outputs, pool is previous, records
         processes = min(self.workers, len(jobs))
         with multiprocessing.Pool(processes=processes,
-                                  initializer=install_snapshot,
-                                  initargs=(snapshot_for(needed),)) as pool:
+                                  initializer=_pool_init,
+                                  initargs=(snapshot_for(needed), None)) as pool:
             outputs = self._drain_observed(pool, payloads, records, tracker)
         return outputs, False, records
 
@@ -448,16 +839,370 @@ class SweepExecutor:
                 tracker.job_done(meta["label"])
         return outputs
 
+    # ------------------------------------------------------- resilient paths
+    def _execute_resilient(self, pending: List[int], jobs: List[SweepJob],
+                           keys: List[Optional[str]],
+                           tracker: Optional[ProgressTracker],
+                           commit: Callable[[int, Any], None],
+                           counts: Dict[str, int],
+                           failures: Dict[int, JobFailure],
+                           failure_excs: Dict[int, BaseException],
+                           records: List[Dict[str, Any]],
+                           results: List[Any]) -> bool:
+        """Supervised execution: retries, deadlines, crash detection."""
+        if self.workers <= 1:
+            self._drive_resilient_serial(pending, jobs, keys, tracker, commit,
+                                         counts, failures, failure_excs,
+                                         records, results)
+            return False
+        needed = _needed_trace_keys([jobs[i] for i in pending])
+        queue = self._get_start_queue()
+        if self._persistent:
+            previous = self._pool
+            pool = self._ensure_pool(needed)
+            self._drive_resilient_parallel(pool, pending, jobs, keys, tracker,
+                                           commit, counts, failures,
+                                           failure_excs, records, results)
+            return pool is previous
+        processes = min(self.workers, len(pending))
+        with multiprocessing.Pool(processes=processes,
+                                  initializer=_pool_init,
+                                  initargs=(snapshot_for(needed),
+                                            queue)) as pool:
+            self._drive_resilient_parallel(pool, pending, jobs, keys, tracker,
+                                           commit, counts, failures,
+                                           failure_excs, records, results)
+        return False
+
+    def _fail_job(self, slot: int, attempts: List[JobAttempt],
+                  jobs: List[SweepJob], keys: List[Optional[str]],
+                  failures: Dict[int, JobFailure],
+                  failure_excs: Dict[int, BaseException],
+                  results: List[Any],
+                  tracker: Optional[ProgressTracker],
+                  original: Optional[BaseException]) -> None:
+        """Retire a job whose retry budget ran out: in-slot sentinel."""
+        failure = JobFailure(key=keys[slot] or "", label=jobs[slot].label,
+                             attempts=tuple(attempts))
+        failures[slot] = failure
+        if original is not None:
+            failure_excs[slot] = original
+        results[slot] = failure
+        if tracker is not None:
+            tracker.job_done(jobs[slot].label)
+
+    def _drive_resilient_serial(self, pending, jobs, keys, tracker, commit,
+                                counts, failures, failure_excs, records,
+                                results) -> None:
+        """In-process supervised driver.
+
+        Serial runs cannot preempt a wedged job, so process faults are
+        *synthesized*: an injected crash/hang becomes the same canonical
+        attempt record the parallel driver produces when it observes the
+        real thing — which is exactly what makes serial and parallel chaos
+        runs byte-identical.
+        """
+        injector = self._injector
+        seed = self.faults.seed if self.faults is not None else 0
+        for slot in pending:
+            job, key = jobs[slot], keys[slot]
+            attempts: List[JobAttempt] = []
+            original: Optional[BaseException] = None
+            for attempt in range(1, self.retries + 2):
+                start_unix = time.time()
+                t0 = time.perf_counter()
+                rec: Optional[JobAttempt] = None
+                if injector is not None and injector.should(
+                        "worker_crash", key, attempt):
+                    counts["worker_crashes"] += 1
+                    rec = crash_attempt(attempt, injected=True)
+                    tag = "worker_crash"
+                elif injector is not None and injector.should(
+                        "job_hang", key, attempt):
+                    counts["timeouts"] += 1
+                    rec = timeout_attempt(attempt, self.timeout, injected=True)
+                    tag = "timeout"
+                else:
+                    outcome = _attempt_outcome(job, key, attempt, self.faults)
+                    wall = time.perf_counter() - t0
+                    if outcome["ok"]:
+                        records.append({
+                            "label": job.label, "pid": os.getpid(),
+                            "start_unix": start_unix, "wall_seconds": wall,
+                            "queue_wait_seconds": 0.0, "attempt": attempt,
+                            "outcome": "ok"})
+                        commit(slot, outcome["value"])
+                        if tracker is not None:
+                            tracker.job_done(job.label)
+                        break
+                    rec = JobAttempt(
+                        attempt=attempt, outcome="error",
+                        error=outcome["error"],
+                        error_type=outcome["error_type"],
+                        traceback=outcome["traceback"],
+                        injected=outcome["injected"])
+                    original = outcome.get("exception")
+                    tag = "error"
+                records.append({
+                    "label": job.label, "pid": os.getpid(),
+                    "start_unix": start_unix,
+                    "wall_seconds": time.perf_counter() - t0,
+                    "queue_wait_seconds": 0.0, "attempt": attempt,
+                    "outcome": tag})
+                if attempt <= self.retries:
+                    delay = retry_backoff(key, attempt, self.backoff, seed)
+                    attempts.append(dataclasses.replace(
+                        rec, backoff_seconds=delay))
+                    counts["retries"] += 1
+                    if delay:
+                        time.sleep(delay)
+                else:
+                    attempts.append(rec)
+                    self._fail_job(slot, attempts, jobs, keys, failures,
+                                   failure_excs, results, tracker, original)
+
+    @staticmethod
+    def _live_pids(pool) -> Set[int]:
+        """Pids of pool workers currently alive (respawns change this set)."""
+        try:
+            return {worker.pid for worker in pool._pool
+                    if worker.exitcode is None and worker.pid is not None}
+        except Exception:
+            return set()
+
+    @staticmethod
+    def _forget_async(pool, result) -> None:
+        """Drop an abandoned AsyncResult from the pool's cache (best
+        effort — a crashed/hung attempt's result will never arrive)."""
+        try:
+            pool._cache.pop(result._job, None)
+        except Exception:
+            pass
+
+    def _drive_resilient_parallel(self, pool, pending, jobs, keys, tracker,
+                                  commit, counts, failures, failure_excs,
+                                  records, results) -> None:
+        """Pool-supervisor loop: poll results, pids and deadlines.
+
+        Every attempt announces ``(run id, slot, attempt, pid)`` on the
+        start queue as its first act, which (a) arms the job's wall-clock
+        deadline only once it actually starts running — queue wait never
+        counts against ``REPRO_JOB_TIMEOUT`` — and (b) lets a worker death
+        be attributed to the attempt it was running.  Crashed workers are
+        respawned by the pool's own maintenance thread; wedged ones are
+        killed at the deadline and respawn the same way.  Lost attempts are
+        resubmitted (with seeded backoff) until the retry budget runs out.
+        """
+        injector = self._injector
+        fault_spec = self.faults
+        seed = fault_spec.seed if fault_spec is not None else 0
+        timeout = self.timeout
+        queue = self._get_start_queue()
+        registry = obs_metrics.registry()
+        self._run_counter += 1
+        run_id = self._run_counter
+
+        inflight: Dict[int, Dict[str, Any]] = {}
+        attempts_log: Dict[int, List[JobAttempt]] = {s: [] for s in pending}
+        originals: Dict[int, BaseException] = {}
+        waiting: List[Tuple[float, int, int]] = []  # (due, slot, attempt)
+        remaining = set(pending)
+
+        def submit(slot: int, attempt: int) -> None:
+            submitted_unix = time.time()
+            payload = (run_id, slot, attempt, jobs[slot], keys[slot],
+                       fault_spec, submitted_unix)
+            inflight[slot] = {
+                "result": pool.apply_async(_resilient_attempt, (payload,)),
+                "attempt": attempt,
+                "pid": None,
+                "deadline": None,
+                "submitted_unix": submitted_unix,
+                "started_wall": None,
+                "condemned": None,  # (tag, monotonic) once presumed lost
+                "predicted_crash": (injector.should("worker_crash",
+                                                    keys[slot], attempt)
+                                    if injector is not None else False),
+                "predicted_hang": (injector.should("job_hang", keys[slot],
+                                                   attempt)
+                                   if injector is not None else False),
+            }
+
+        def synth_meta(slot: int, state: Dict[str, Any], tag: str
+                       ) -> Dict[str, Any]:
+            started = state["started_wall"] or state["submitted_unix"]
+            return {"label": jobs[slot].label, "pid": state["pid"],
+                    "start_unix": started,
+                    "wall_seconds": max(time.time() - started, 0.0),
+                    "queue_wait_seconds": max(
+                        started - state["submitted_unix"], 0.0),
+                    "attempt": state["attempt"], "outcome": tag}
+
+        def attempt_failed(slot: int, rec: JobAttempt,
+                           original: Optional[BaseException],
+                           meta: Dict[str, Any]) -> None:
+            inflight.pop(slot, None)
+            records.append(meta)
+            if original is not None:
+                originals[slot] = original
+            if rec.attempt <= self.retries:
+                delay = retry_backoff(keys[slot], rec.attempt, self.backoff,
+                                      seed)
+                attempts_log[slot].append(dataclasses.replace(
+                    rec, backoff_seconds=delay))
+                counts["retries"] += 1
+                waiting.append((time.monotonic() + delay, slot,
+                                rec.attempt + 1))
+            else:
+                attempts_log[slot].append(rec)
+                remaining.discard(slot)
+                self._fail_job(slot, attempts_log[slot], jobs, keys, failures,
+                               failure_excs, results, tracker,
+                               originals.get(slot))
+
+        for slot in pending:
+            submit(slot, 1)
+
+        while remaining:
+            progressed = False
+
+            # 1. Start announcements: arm deadlines, learn attempt→pid.
+            while not queue.empty():
+                try:
+                    msg_run, slot, attempt, pid = queue.get()
+                except (EOFError, OSError):
+                    break
+                progressed = True
+                if msg_run != run_id:
+                    continue  # stale message from an aborted earlier run
+                state = inflight.get(slot)
+                if state is not None and state["attempt"] == attempt:
+                    state["pid"] = pid
+                    state["started_wall"] = time.time()
+                    if timeout is not None:
+                        state["deadline"] = time.monotonic() + timeout
+
+            # 2. Completed attempts.
+            for slot in list(inflight):
+                state = inflight[slot]
+                if not state["result"].ready():
+                    continue
+                progressed = True
+                try:
+                    _, attempt, outcome, meta, snapshot = \
+                        state["result"].get()
+                except Exception as exc:
+                    # Pool plumbing failure (e.g. unpicklable result):
+                    # treated as an errored attempt with the parent-side
+                    # exception text.
+                    rec = JobAttempt(attempt=state["attempt"],
+                                     outcome="error", error=str(exc),
+                                     error_type=type(exc).__qualname__)
+                    attempt_failed(slot, rec, None,
+                                   synth_meta(slot, state, "error"))
+                    continue
+                if snapshot is not None:
+                    registry.merge(snapshot)
+                if outcome["ok"]:
+                    inflight.pop(slot)
+                    remaining.discard(slot)
+                    records.append(meta)
+                    commit(slot, outcome["value"])
+                    if tracker is not None:
+                        tracker.job_done(meta["label"])
+                else:
+                    rec = JobAttempt(
+                        attempt=attempt, outcome="error",
+                        error=outcome["error"],
+                        error_type=outcome["error_type"],
+                        traceback=outcome["traceback"],
+                        injected=outcome["injected"])
+                    attempt_failed(slot, rec, outcome.get("exception"), meta)
+
+            # 3. Worker deaths: condemn the attempt that announced the dead
+            #    pid; the pool respawns the worker on its own.
+            live = self._live_pids(pool)
+            now = time.monotonic()
+            for slot in list(inflight):
+                state = inflight[slot]
+                if (state["pid"] is None or state["pid"] in live
+                        or state["result"].ready()
+                        or state["condemned"] is not None):
+                    continue
+                progressed = True
+                state["condemned"] = ("worker_crash", now)
+
+            # 4. Deadlines: condemn expired attempts.
+            if timeout is not None:
+                for slot in list(inflight):
+                    state = inflight[slot]
+                    if (state["deadline"] is None or now < state["deadline"]
+                            or state["result"].ready()
+                            or state["condemned"] is not None):
+                        continue
+                    progressed = True
+                    state["condemned"] = ("timeout", now)
+
+            # 5. Finalise condemned attempts once the late-result grace
+            #    window has elapsed with no result delivered (step 2 rescues
+            #    any attempt whose result was already in the outqueue pipe
+            #    when its worker died or its deadline expired — see
+            #    _LATE_RESULT_GRACE_SECONDS).  Wedged workers are killed at
+            #    finalisation so the pool can respawn a fresh one.
+            for slot in list(inflight):
+                state = inflight[slot]
+                if state["condemned"] is None or state["result"].ready():
+                    continue
+                tag, since = state["condemned"]
+                if time.monotonic() - since < _LATE_RESULT_GRACE_SECONDS:
+                    continue
+                progressed = True
+                if tag == "worker_crash":
+                    counts["worker_crashes"] += 1
+                    rec = crash_attempt(state["attempt"],
+                                        injected=state["predicted_crash"])
+                else:
+                    counts["timeouts"] += 1
+                    rec = timeout_attempt(state["attempt"], timeout,
+                                          injected=state["predicted_hang"])
+                pid = state["pid"]
+                self._forget_async(pool, state["result"])
+                attempt_failed(slot, rec, None, synth_meta(slot, state, tag))
+                if (tag == "timeout" and pid is not None
+                        and pid in self._live_pids(pool)):
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+
+            # 6. Resubmit retries whose backoff elapsed.
+            if waiting:
+                now = time.monotonic()
+                due = [item for item in waiting if item[0] <= now]
+                if due:
+                    progressed = True
+                    waiting = [item for item in waiting if item[0] > now]
+                    for _, slot, attempt in sorted(due,
+                                                   key=lambda item: item[1]):
+                        submit(slot, attempt)
+
+            if not progressed:
+                time.sleep(_POLL_SECONDS)
+
 
 def get_executor(executor: Optional[SweepExecutor] = None,
                  jobs: Optional[int | str] = None,
-                 cache_dir: Optional[os.PathLike | str] = None) -> SweepExecutor:
+                 cache_dir: Optional[os.PathLike | str] = None,
+                 journal: Any = None,
+                 failure_policy: Optional[str] = None) -> SweepExecutor:
     """Shared convenience for experiment entry points.
 
     Returns ``executor`` unchanged when given one, otherwise builds a fresh
-    :class:`SweepExecutor` from the ``jobs``/``cache_dir`` knobs (and thus the
-    ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment defaults).
+    :class:`SweepExecutor` from the ``jobs``/``cache_dir``/``journal``/
+    ``failure_policy`` knobs (and thus the ``REPRO_JOBS``/``REPRO_CACHE_DIR``
+    /``REPRO_JOURNAL``/``REPRO_FAILURE_POLICY`` environment defaults).
     """
     if executor is not None:
         return executor
-    return SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    return SweepExecutor(jobs=jobs, cache_dir=cache_dir, journal=journal,
+                         failure_policy=failure_policy)

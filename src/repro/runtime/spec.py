@@ -207,31 +207,42 @@ class SweepSpec:
         return cells, jobs
 
     # ------------------------------------------------------------------ run
-    def run_cells(self, executor: Optional[SweepExecutor] = None
+    def run_cells(self, executor: Optional[SweepExecutor] = None,
+                  failures: Optional[str] = None
                   ) -> List[Tuple[SweepCell, Any]]:
         """Execute the grid; returns ``(cell, result)`` pairs in grid order.
 
         When ``REPRO_RUN_DIR`` is set, a JSON provenance manifest for the
         finished sweep is written there (see :mod:`repro.obs.manifest`).
+
+        ``failures`` selects the policy for cells whose retry budget runs
+        out under the executor's fault-tolerance knobs: ``"strict"`` raises
+        (the default), ``"salvage"`` keeps the good cells and returns
+        :class:`~repro.runtime.faults.JobFailure` sentinels in the failed
+        slots (test with :func:`~repro.runtime.faults.is_failure`).  ``None``
+        defers to the executor / ``REPRO_FAILURE_POLICY``.
         """
         executor = get_executor(executor)
         cells, jobs = self.expand()
-        results = list(zip(cells, executor.run(jobs)))
+        results = list(zip(cells, executor.run(jobs,
+                                               failure_policy=failures)))
         from repro.obs.manifest import maybe_write_sweep_manifest
         maybe_write_sweep_manifest(self, cells, executor)
         return results
 
-    def run(self, executor: Optional[SweepExecutor] = None
-            ) -> Dict[str, Dict[str, Any]]:
+    def run(self, executor: Optional[SweepExecutor] = None,
+            failures: Optional[str] = None) -> Dict[str, Dict[str, Any]]:
         """Execute and group as ``results[scheme][trace]``.
 
         Requires a single seed and a single override mapping (the common
         figure-sweep shape); use :meth:`run_cells` for richer grids.
+        ``failures`` is the strict-vs-salvage policy knob (see
+        :meth:`run_cells`).
         """
         if len(self.seeds) != 1 or len(self.param_grid) != 1:
             raise ValueError("SweepSpec.run() requires exactly one seed and "
                              "one param_grid entry; use run_cells() instead")
         grouped: Dict[str, Dict[str, Any]] = {}
-        for cell, result in self.run_cells(executor):
+        for cell, result in self.run_cells(executor, failures=failures):
             grouped.setdefault(cell.scheme, {})[cell.trace] = result
         return grouped

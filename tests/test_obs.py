@@ -377,7 +377,7 @@ def test_fuzz_report_embeds_deterministic_manifest():
     replay = run_campaign(budget=2, seed=3, jobs=1, shrink=False,
                           check_determinism=False)
     assert report == replay
-    assert report["format"] == 2
+    assert report["format"] == 3
     assert report["manifest"]["schema"] == MANIFEST_SCHEMA
 
 

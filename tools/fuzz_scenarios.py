@@ -51,12 +51,24 @@ def main(argv=None) -> int:
     parser.add_argument("--corpus-dir", type=Path, default=None,
                         help="write minimized counterexamples here as corpus"
                              " entries")
+    parser.add_argument("--resume", nargs="?", const=True, default=None,
+                        metavar="DIR",
+                        help="journal completed scenarios and resume an "
+                             "interrupted campaign; optional journal "
+                             "directory (default: REPRO_JOURNAL or "
+                             "REPRO_RUN_DIR/journal)")
+    parser.add_argument("--failures", choices=("strict", "salvage"),
+                        default=None,
+                        help="policy for scenarios whose sweep job exhausts "
+                             "its retries (default: REPRO_FAILURE_POLICY or "
+                             "strict)")
     args = parser.parse_args(argv)
 
     report = run_campaign(
         budget=args.budget, seed=args.seed, jobs=args.jobs,
         check_determinism=not args.no_determinism,
-        shrink=not args.no_shrink, corpus_dir=args.corpus_dir)
+        shrink=not args.no_shrink, corpus_dir=args.corpus_dir,
+        journal=args.resume, failures=args.failures)
 
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -70,6 +82,10 @@ def main(argv=None) -> int:
               f"x{group['count']} (first: scenario "
               f"{group['first_scenario_id']})")
         print(f"      {group['example_message']}")
+    for failed in report.get("failed_jobs", ()):
+        attempts = failed["failure"]["attempts"]
+        print(f"  [job-failure] scenario {failed['scenario_id']}: "
+              f"{attempts[-1]['outcome']} after {len(attempts)} attempt(s)")
     if report["clean"]:
         print("all invariants held")
         return 0
